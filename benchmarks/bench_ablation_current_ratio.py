@@ -1,0 +1,10 @@
+"""Benchmark E8: the eq. 19-20 current-ratio correction coefficient."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_ablation_current_ratio(benchmark):
+    result = benchmark(run_experiment, "ablation_current_ratio")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmarks E6/E7/E9: the error-propagation claims of section 3."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_ablation_sensitivity(benchmark):
+    result = benchmark(run_experiment, "ablation_sensitivity")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Ablation benchmark: netlist MNA path vs behavioural bandgap path."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_ablation_solver(benchmark):
+    result = benchmark(run_experiment, "ablation_solver")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark E1/E10: regenerate Fig. 1 (EG(T) model comparison)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_fig1_bandgap_models(benchmark):
+    result = benchmark(run_experiment, "fig1")
+    assert_and_report(result)

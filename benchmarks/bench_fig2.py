@@ -1,0 +1,10 @@
+"""Benchmark: the Fig. 2 bias principle (PTAT thermometer linearity)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_fig2_bias_principle(benchmark):
+    result = benchmark(run_experiment, "fig2")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark E2: regenerate Fig. 5 (IC(VBE) family over temperature)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_fig5_ic_vbe_family(benchmark):
+    result = benchmark(run_experiment, "fig5")
+    assert_and_report(result)

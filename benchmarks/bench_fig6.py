@@ -1,0 +1,10 @@
+"""Benchmark E3: regenerate Fig. 6 (characteristic straights C1/C2/C3)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_fig6_characteristic_straight(benchmark):
+    result = benchmark(run_experiment, "fig6")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark E5: regenerate Fig. 8 (VREF(T) curves and RadjA sweep)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_fig8_vref_curves(benchmark):
+    result = benchmark(run_experiment, "fig8")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark (extension): sub-1V reference prototyped with the card."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_sub1v_extension(benchmark):
+    result = benchmark(run_experiment, "sub1v_extension")
+    assert_and_report(result)

@@ -1,0 +1,10 @@
+"""Benchmark E4: regenerate Table 1 (sensor vs computed temperatures)."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_table1_die_temperatures(benchmark):
+    result = benchmark(run_experiment, "table1")
+    assert_and_report(result)

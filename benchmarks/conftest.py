@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artefact (table or
+figure) through pytest-benchmark, asserts its shape checks, and prints
+the regenerated rows so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the paper-reproduction report.
+"""
+
+import pytest
+
+from repro.experiments import render_result
+
+
+def assert_and_report(result):
+    """Assert an experiment's shape checks and emit its table."""
+    print()
+    print(render_result(result))
+    assert result.passed, f"{result.experiment_id} failing: {result.failing_checks()}"
+    return result

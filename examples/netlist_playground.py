@@ -1,0 +1,54 @@
+"""Mini-SPICE playground: drive the MNA solver directly.
+
+Parses a SPICE-flavoured netlist of a diode-connected PNP bias chain,
+solves its operating point, runs a temperature sweep, and closes the
+electro-thermal self-heating loop — the substrate machinery every other
+layer of the library is built on.
+
+Run:  python examples/netlist_playground.py
+"""
+
+from repro.spice import (
+    operating_point,
+    parse_netlist,
+    solve_with_self_heating,
+    temperature_sweep,
+)
+from repro.units import celsius_to_kelvin
+
+NETLIST = """
+.title PTAT bias chain with a diode-connected PNP
+.model QPNP PNP (IS=1.2e-17 BF=80 EG=1.1324 XTI=3.4616 RB=120 RE=18 RC=45)
+V1 vdd 0 3.3
+R1 vdd e 220k
+Q1 0 0 e QPNP        ; diode-connected substrate PNP
+"""
+
+
+def main() -> None:
+    circuit = parse_netlist(NETLIST)
+    print(f"parsed: {circuit!r}")
+
+    op = operating_point(circuit, temperature_k=300.15)
+    vbe = op.voltage("e")
+    current = (3.3 - vbe) / 220e3
+    print(f"\noperating point at 300.15 K (strategy: {op.strategy}, "
+          f"{op.iterations} Newton iterations):")
+    print(f"  VEB = {vbe * 1000:.2f} mV, branch current = {current * 1e6:.2f} uA")
+
+    temps = [celsius_to_kelvin(t) for t in (-50, -25, 0, 25, 50, 75, 100, 125)]
+    sweep = temperature_sweep(circuit, temps)
+    print("\nVEB over temperature (the CTAT ~ -2 mV/K the paper fits):")
+    for t_k, v in zip(temps, sweep.voltage("e")):
+        print(f"  {t_k - 273.15:6.1f} C: {v * 1000:7.2f} mV")
+    slope = (sweep.voltage("e")[-1] - sweep.voltage("e")[0]) / (temps[-1] - temps[0])
+    print(f"  mean slope: {slope * 1000:.3f} mV/K")
+
+    thermal = solve_with_self_heating(circuit, ambient_k=300.15, rth_k_per_w=300.0)
+    print(f"\nself-heating loop: P = {thermal.power_w * 1000:.3f} mW, "
+          f"die rise = {thermal.self_heating_k * 1000:.1f} mK "
+          f"({thermal.iterations} thermal iterations)")
+
+
+if __name__ == "__main__":
+    main()

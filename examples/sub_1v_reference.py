@@ -1,0 +1,70 @@
+"""Sub-1V reference prototype — the paper's closing promise.
+
+"The present test structure can be used to prototype the design of more
+accurate low voltage reference circuit": build a current-mode reference
+(after Banba et al., one of the paper's own citations), predict its
+behaviour with the standard model card and with the in-situ extracted
+card, and retarget it to the 600 mV regime the introduction motivates.
+
+Run:  python examples/sub_1v_reference.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.circuits.sub1v import Sub1VBandgap, Sub1VConfig
+from repro.extraction import run_analytical_extraction, run_classical_extraction
+from repro.measurement import MeasurementCampaign
+from repro.measurement.samples import paper_lot
+from repro.units import celsius_to_kelvin
+
+TEMPS_C = (-55, -15, 25, 65, 105, 145)
+
+
+def main() -> None:
+    sample = paper_lot()[0]
+    campaign = MeasurementCampaign(sample, include_noise=True, seed=12)
+
+    standard = run_classical_extraction(campaign).standard_card_couple
+    extracted = run_analytical_extraction(
+        campaign, correct_offset=True
+    ).couple_computed_t.couple
+
+    def reference(couple, with_parasitic):
+        params = replace(sample.bjt_params(), eg=couple[0], xti=couple[1])
+        return Sub1VBandgap(
+            Sub1VConfig(
+                params=params,
+                substrate_unit=sample.substrate_unit() if with_parasitic else None,
+            )
+        )
+
+    truth = (sample.bjt_params().eg, sample.bjt_params().xti)
+    fabricated = reference(truth, True)
+    std_card = reference(standard, False)
+    insitu_card = reference(extracted, True)
+
+    print("sub-1V current-mode reference (VREF in volts):")
+    print(f"{'T [C]':>6} {'fabricated':>11} {'std card':>9} {'in-situ':>8}")
+    for temp_c in TEMPS_C:
+        t = celsius_to_kelvin(temp_c)
+        print(f"{temp_c:6d} {fabricated.vref(t):11.4f} "
+              f"{std_card.vref(t):9.4f} {insitu_card.vref(t):8.4f}")
+
+    t_hot = celsius_to_kelvin(145.0)
+    print(f"\nprediction error at 145 C: standard card "
+          f"{1000.0 * abs(std_card.vref(t_hot) - fabricated.vref(t_hot)):.1f} mV, "
+          f"in-situ card "
+          f"{1000.0 * abs(insitu_card.vref(t_hot) - fabricated.vref(t_hot)):.2f} mV")
+
+    retargeted = fabricated.scaled_to(0.600)
+    curve = [retargeted.vref(celsius_to_kelvin(t)) for t in TEMPS_C]
+    print(f"\nretargeted to 600 mV: VREF(25 C) = "
+          f"{retargeted.vref(celsius_to_kelvin(25)):.4f} V, span "
+          f"{1000.0 * (max(curve) - min(curve)):.1f} mV over "
+          f"{TEMPS_C[0]}..{TEMPS_C[-1]} C")
+
+
+if __name__ == "__main__":
+    main()

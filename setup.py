@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The offline environment carries a setuptools too old for PEP 660 editable
+installs driven purely by pyproject.toml; this shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older pips) take the classic ``setup.py develop`` path.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,35 @@
+"""Error analysis: the paper's quantitative robustness claims.
+
+* :mod:`repro.analysis.sensitivity` — how VBE measurement error maps to
+  EG error (the "1% -> up to 8%" claim), the dT2 < 5 K robustness of the
+  Meijer method, and the ~20 %/K IS(T) sensitivity;
+* :mod:`repro.analysis.montecarlo` — extraction statistics over process
+  spread and instrument noise;
+* :mod:`repro.analysis.stats` — small fitting/statistics helpers.
+"""
+
+from .sensitivity import (
+    eg_error_from_vbe_gain_error,
+    eg_error_worst_single_point,
+    eg_std_from_voltage_noise,
+    is_sensitivity_band,
+    reference_temperature_robustness,
+)
+from .montecarlo import MonteCarloSummary, run_extraction_montecarlo
+from .stats import LineFit, fit_line, r_squared
+from .curvature import TemperatureCoefficient, vref_temperature_coefficient
+
+__all__ = [
+    "TemperatureCoefficient",
+    "vref_temperature_coefficient",
+    "eg_error_from_vbe_gain_error",
+    "eg_error_worst_single_point",
+    "eg_std_from_voltage_noise",
+    "reference_temperature_robustness",
+    "is_sensitivity_band",
+    "MonteCarloSummary",
+    "run_extraction_montecarlo",
+    "LineFit",
+    "fit_line",
+    "r_squared",
+]

@@ -1,0 +1,56 @@
+"""Reference-voltage temperature-coefficient metrics.
+
+The figures designers quote for curves like the paper's Fig. 8: the
+box-method temperature coefficient in ppm/K, the curve's span, and the
+location of the zero-TC point (the bell's peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class TemperatureCoefficient:
+    """Summary metrics of a VREF(T) curve."""
+
+    span_v: float
+    mean_v: float
+    tc_ppm_per_k: float
+    peak_temperature_k: float
+
+    @property
+    def span_mv(self) -> float:
+        return 1000.0 * self.span_v
+
+
+def vref_temperature_coefficient(
+    temperatures_k: Sequence[float], vref_v: Sequence[float]
+) -> TemperatureCoefficient:
+    """Box-method TC: ``(max - min) / (mean * (T_max - T_min))`` [ppm/K].
+
+    Also reports the curve's span and the temperature of its maximum —
+    for a trimmed bandgap the classic bell peaks where the TC crosses
+    zero.
+    """
+    temps = np.asarray(temperatures_k, float)
+    vref = np.asarray(vref_v, float)
+    if temps.shape != vref.shape or temps.size < 3:
+        raise ReproError("need matching arrays with at least three points")
+    t_span = float(temps.max() - temps.min())
+    if t_span <= 0.0:
+        raise ReproError("temperature range is degenerate")
+    span = float(vref.max() - vref.min())
+    mean = float(vref.mean())
+    if mean == 0.0:
+        raise ReproError("mean reference voltage is zero")
+    tc = 1e6 * span / (abs(mean) * t_span)
+    peak = float(temps[int(np.argmax(vref))])
+    return TemperatureCoefficient(
+        span_v=span, mean_v=mean, tc_ppm_per_k=tc, peak_temperature_k=peak
+    )

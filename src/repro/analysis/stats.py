@@ -1,0 +1,58 @@
+"""Small statistics helpers shared by the analysis modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class LineFit:
+    """A least-squares line with parameter uncertainties."""
+
+    slope: float
+    intercept: float
+    slope_std: float
+    intercept_std: float
+    r_squared: float
+
+    def predict(self, x):
+        return self.intercept + self.slope * np.asarray(x, float)
+
+
+def fit_line(x, y) -> LineFit:
+    """Ordinary least-squares line fit with standard errors."""
+    x = np.asarray(x, float)
+    y = np.asarray(y, float)
+    if x.shape != y.shape or x.size < 3:
+        raise ReproError("need matching arrays with at least three points")
+    design = np.column_stack([x, np.ones_like(x)])
+    solution, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)
+    if rank < 2:
+        raise ReproError("degenerate line fit")
+    slope, intercept = solution
+    residual = y - design @ solution
+    dof = max(x.size - 2, 1)
+    sigma_sq = float(residual @ residual) / dof
+    covariance = sigma_sq * np.linalg.inv(design.T @ design)
+    return LineFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        slope_std=float(np.sqrt(covariance[0, 0])),
+        intercept_std=float(np.sqrt(covariance[1, 1])),
+        r_squared=r_squared(y, design @ solution),
+    )
+
+
+def r_squared(observed, predicted) -> float:
+    """Coefficient of determination."""
+    observed = np.asarray(observed, float)
+    predicted = np.asarray(predicted, float)
+    ss_res = float(np.sum((observed - predicted) ** 2))
+    ss_tot = float(np.sum((observed - observed.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,89 @@
+"""Gummel sweeps: the raw material of the paper's Fig. 5.
+
+A Gummel plot sweeps the terminal base-emitter voltage with the collector
+held at ``VCB = 0`` and records ``IC`` (and ``IB``).  The family of such
+curves over temperature — Fig. 5 of the paper, -50 C to +125 C — is the
+dataset from which constant-current ``VBE(T)`` characteristics are sliced
+for the classical extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .model import GummelPoonModel
+
+
+@dataclass(frozen=True)
+class GummelSweep:
+    """One Gummel curve at a fixed temperature.
+
+    ``vbe`` is the applied terminal voltage [V]; ``ic`` and ``ib`` the
+    terminal currents [A]; ``temperature_k`` the device temperature.
+    """
+
+    temperature_k: float
+    vbe: np.ndarray
+    ic: np.ndarray
+    ib: np.ndarray
+
+    def vbe_at_current(self, ic_target: float) -> float:
+        """Interpolate the terminal VBE at which ``ic == ic_target``.
+
+        Interpolation is linear in ``log(IC)`` (exact for an ideal
+        exponential), which is how constant-current characteristics are
+        sliced out of measured Gummel data in practice.
+        """
+        if ic_target <= 0.0:
+            raise ModelError("target current must be positive")
+        positive = self.ic > 0.0
+        ic = self.ic[positive]
+        vbe = self.vbe[positive]
+        if ic.size < 2 or not ic[0] <= ic_target <= ic[-1]:
+            raise ModelError(
+                f"target {ic_target:g} A outside swept range "
+                f"[{ic[0] if ic.size else float('nan'):g}, "
+                f"{ic[-1] if ic.size else float('nan'):g}] A"
+            )
+        return float(np.interp(np.log(ic_target), np.log(ic), vbe))
+
+
+def gummel_sweep(
+    model: GummelPoonModel,
+    temperature_k: float,
+    vbe_start: float = 0.1,
+    vbe_stop: float = 1.3,
+    points: int = 121,
+) -> GummelSweep:
+    """Run a Gummel sweep on ``model`` at one temperature.
+
+    Defaults mirror the paper's Fig. 5 axis (VBE from 0.1 to 1.3 V).
+    """
+    if points < 2:
+        raise ModelError("a sweep needs at least two points")
+    if vbe_stop <= vbe_start:
+        raise ModelError("vbe_stop must exceed vbe_start")
+    vbe = np.linspace(vbe_start, vbe_stop, points)
+    ic = np.empty_like(vbe)
+    ib = np.empty_like(vbe)
+    for i, v in enumerate(vbe):
+        ic[i], ib[i] = model.terminal_currents(float(v), temperature_k)
+    return GummelSweep(temperature_k=temperature_k, vbe=vbe, ic=ic, ib=ib)
+
+
+def gummel_family(
+    model: GummelPoonModel,
+    temperatures_k: Sequence[float],
+    vbe_start: float = 0.1,
+    vbe_stop: float = 1.3,
+    points: int = 121,
+) -> list:
+    """Gummel sweeps at several temperatures (the full Fig. 5 family)."""
+    return [
+        gummel_sweep(model, t, vbe_start=vbe_start, vbe_stop=vbe_stop, points=points)
+        for t in temperatures_k
+    ]

@@ -1,0 +1,107 @@
+"""The matched BJT pair of the paper's Fig. 2.
+
+Two transistors QA (area 1) and QB (area ``p`` > 1) forced to identical
+collector currents produce
+
+    dVBE(T) = VBE_A - VBE_B = (k*T/q) * ln(p)        (ideal, PTAT)
+
+which is the temperature probe at the heart of the test structure
+(paper eq. 16).  :class:`MatchedPair` evaluates both the ideal relation
+and the real one — finite ``IS`` mismatch, unequal collector currents
+(the ``X`` factor of paper eqs. 19-20) and substrate leakage all bend the
+PTAT line, and reproducing those bends is what Table 1 is about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..constants import thermal_voltage
+from ..errors import ModelError
+from .model import GummelPoonModel
+from .parameters import BJTParameters, PAPER_PNP_SMALL
+from .substrate import SubstratePNP
+
+
+@dataclass
+class MatchedPair:
+    """QA (1x) / QB (p-times) matched pair biased at equal currents.
+
+    Parameters
+    ----------
+    base_params:
+        Parameters of the unit device QA.
+    area_ratio:
+        The paper's ``p`` (8 for the silicon cell: 6 um^2 vs 48 um^2).
+    is_mismatch:
+        Multiplicative mismatch on QB's saturation current (1.0 = perfectly
+        matched); represents lithography/process mismatch of a real pair.
+    substrate_a, substrate_b:
+        Optional parasitic substrate transistors.  When present they
+        divert part of the forced current to the substrate, which is the
+        paper's explanation for QB's eight-times-larger leakage.
+    """
+
+    base_params: BJTParameters = field(default_factory=lambda: PAPER_PNP_SMALL)
+    area_ratio: float = 8.0
+    is_mismatch: float = 1.0
+    substrate_a: Optional[SubstratePNP] = None
+    substrate_b: Optional[SubstratePNP] = None
+
+    def __post_init__(self) -> None:
+        if self.area_ratio <= 1.0:
+            raise ModelError("the paper requires an area ratio p > 1")
+        if self.is_mismatch <= 0.0:
+            raise ModelError("IS mismatch factor must be positive")
+        params_a = self.base_params
+        params_b = self.base_params.scaled(self.area_ratio, name="QB")
+        if self.is_mismatch != 1.0:
+            params_b = replace(params_b, is_=params_b.is_ * self.is_mismatch)
+        self.qa = GummelPoonModel(params_a)
+        self.qb = GummelPoonModel(params_b)
+
+    # ------------------------------------------------------------------
+    def ideal_delta_vbe(self, temperature_k: float) -> float:
+        """The textbook PTAT value ``(kT/q) ln p`` [V] (paper eq. 16)."""
+        return thermal_voltage(temperature_k) * math.log(self.area_ratio)
+
+    def delta_vbe(
+        self,
+        temperature_k: float,
+        collector_current: float,
+        current_b: Optional[float] = None,
+        vce_headroom: float = 1.0,
+    ) -> float:
+        """Actual ``VBE_A - VBE_B`` [V] for the given bias.
+
+        ``current_b`` defaults to ``collector_current`` (the equal-current
+        condition the RX1/RX2 network enforces in the test cell); passing
+        a different value models the inequality the paper corrects with
+        eqs. 17-20.  Substrate leakage, when modelled, *diverts* part of
+        each forced current before it reaches the junction.
+        """
+        if collector_current <= 0.0:
+            raise ModelError("collector current must be positive")
+        ia = collector_current
+        ib = collector_current if current_b is None else current_b
+        if ib <= 0.0:
+            raise ModelError("QB collector current must be positive")
+        if self.substrate_a is not None:
+            ia = ia - self.substrate_a.leakage_current(temperature_k, vce_headroom)
+        if self.substrate_b is not None:
+            ib = ib - self.substrate_b.leakage_current(temperature_k, vce_headroom)
+        if ia <= 0.0 or ib <= 0.0:
+            raise ModelError("substrate leakage exceeds the forced bias current")
+        vbe_a = self.qa.vbe_for_ic(ia, temperature_k)
+        vbe_b = self.qb.vbe_for_ic(ib, temperature_k)
+        return vbe_a - vbe_b
+
+    def delta_vbe_nonideality(
+        self, temperature_k: float, collector_current: float, **kwargs
+    ) -> float:
+        """Deviation of the real ``dVBE`` from the PTAT ideal [V]."""
+        return self.delta_vbe(
+            temperature_k, collector_current, **kwargs
+        ) - self.ideal_delta_vbe(temperature_k)

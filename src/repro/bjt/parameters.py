@@ -1,0 +1,164 @@
+"""Gummel-Poon parameter sets (the SPICE ``.MODEL`` card contents).
+
+Only the DC/temperature subset relevant to the paper is carried: the
+methods under study extract ``EG`` and ``XTI`` from DC ``IC(VBE, T)``
+behaviour, so junction capacitances and transit times are out of scope.
+
+The two concrete parameter sets :data:`PAPER_PNP_SMALL` (QA/QIN, 6 um^2)
+and :data:`PAPER_PNP_LARGE` (QB/QC, 48 um^2) model the ST BiCMOS PNPs of
+the paper's section 4 — the large device is an area-8 copy of the small
+one, which is exactly how the paper's emitter-area ratio of 8 is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..constants import T_NOMINAL
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class BJTParameters:
+    """DC Gummel-Poon parameters, SPICE naming.
+
+    Attributes
+    ----------
+    is_:
+        Transport saturation current at ``tnom`` [A].
+    bf, br:
+        Ideal forward / reverse current gains.
+    nf, nr:
+        Forward / reverse ideality factors.
+    ise, ne:
+        Base-emitter leakage saturation current [A] and its ideality.
+    vaf, var:
+        Forward / reverse Early voltages [V] (``float('inf')`` disables).
+        ``VAR`` is the one entering the paper's eq. 13 correction.
+    ikf:
+        Forward knee current for high-injection roll-off [A]
+        (``float('inf')`` disables).
+    rb, re, rc:
+        Series resistances [ohm].
+    eg, xti:
+        The temperature parameters under study (paper eq. 1) [eV, -].
+    xtb:
+        Temperature exponent of beta (SPICE XTB).
+    area:
+        Emitter area in um^2 — used for relative scaling only.
+    tnom:
+        Parameter measurement temperature [K].
+    polarity:
+        ``"npn"`` or ``"pnp"`` (sign convention handled by the circuit
+        layer; the device model works in forward-junction convention).
+    name:
+        Model-card name.
+    """
+
+    is_: float = 1.2e-17
+    bf: float = 80.0
+    br: float = 4.0
+    nf: float = 1.0
+    nr: float = 1.0
+    ise: float = 5.0e-16
+    ne: float = 1.8
+    vaf: float = 60.0
+    var: float = 8.0
+    ikf: float = 3.0e-3
+    rb: float = 120.0
+    re: float = 18.0
+    rc: float = 45.0
+    # The repo-wide "planted" ground truth: the couple produced by
+    # repro.physics.PhysicalSaturationCurrent() defaults via paper eq. 12
+    # (EG5 Thurmond-log model, 45 meV narrowing, EN=1.42, Erho=0.10).
+    eg: float = 1.1324
+    xti: float = 3.4616
+    xtb: float = 1.5
+    area: float = 6.0
+    tnom: float = T_NOMINAL
+    polarity: str = "pnp"
+    name: str = "QPNP"
+
+    def __post_init__(self) -> None:
+        if self.is_ <= 0.0:
+            raise ModelError("IS must be positive")
+        if self.ise < 0.0:
+            raise ModelError("ISE must be non-negative")
+        if self.bf <= 0.0 or self.br <= 0.0:
+            raise ModelError("BF and BR must be positive")
+        if self.nf <= 0.0 or self.ne <= 0.0 or self.nr <= 0.0:
+            raise ModelError("ideality factors must be positive")
+        if self.vaf <= 0.0 or self.var <= 0.0:
+            raise ModelError("Early voltages must be positive (use inf to disable)")
+        if self.ikf <= 0.0:
+            raise ModelError("IKF must be positive (use inf to disable)")
+        if min(self.rb, self.re, self.rc) < 0.0:
+            raise ModelError("series resistances must be non-negative")
+        if not 0.5 <= self.eg <= 2.0:
+            raise ModelError(f"EG={self.eg} eV is outside the plausible silicon range")
+        if not -2.0 <= self.xti <= 10.0:
+            raise ModelError(f"XTI={self.xti} is outside the plausible range")
+        if self.area <= 0.0:
+            raise ModelError("area must be positive")
+        if self.tnom <= 0.0:
+            raise ModelError("TNOM must be positive")
+        if self.polarity not in ("npn", "pnp"):
+            raise ModelError("polarity must be 'npn' or 'pnp'")
+
+    def scaled(self, area_factor: float, name: str = None) -> "BJTParameters":
+        """Return an area-scaled copy (SPICE ``area`` instance factor).
+
+        Currents scale up with area, resistances scale down — this is how
+        QB (8x) is derived from QA (1x) in the paper's test cell.
+        """
+        if area_factor <= 0.0:
+            raise ModelError("area factor must be positive")
+        return replace(
+            self,
+            is_=self.is_ * area_factor,
+            ise=self.ise * area_factor,
+            ikf=self.ikf * area_factor,
+            rb=self.rb / area_factor,
+            re=self.re / area_factor,
+            rc=self.rc / area_factor,
+            area=self.area * area_factor,
+            name=name if name is not None else f"{self.name}x{area_factor:g}",
+        )
+
+    def with_temperature_parameters(self, eg: float, xti: float) -> "BJTParameters":
+        """Copy with a different ``(EG, XTI)`` couple — the model-card swap
+        at the heart of the paper's Fig. 8 comparison."""
+        return replace(self, eg=eg, xti=xti)
+
+    def model_card(self) -> str:
+        """Render as a SPICE ``.MODEL`` line."""
+        kind = self.polarity.upper()
+        fields: Dict[str, float] = {
+            "IS": self.is_,
+            "BF": self.bf,
+            "BR": self.br,
+            "NF": self.nf,
+            "NR": self.nr,
+            "ISE": self.ise,
+            "NE": self.ne,
+            "VAF": self.vaf,
+            "VAR": self.var,
+            "IKF": self.ikf,
+            "RB": self.rb,
+            "RE": self.re,
+            "RC": self.rc,
+            "EG": self.eg,
+            "XTI": self.xti,
+            "XTB": self.xtb,
+            "TNOM": self.tnom,
+        }
+        body = " ".join(f"{key}={value:.6g}" for key, value in fields.items())
+        return f".MODEL {self.name} {kind} ({body})"
+
+
+#: QA / QIN of the paper's test cell: 6 um^2 ST BiCMOS substrate PNP.
+PAPER_PNP_SMALL = BJTParameters(name="QPNP1X")
+
+#: QB / QC: the 48 um^2 (area 8) device.
+PAPER_PNP_LARGE = PAPER_PNP_SMALL.scaled(8.0, name="QPNP8X")

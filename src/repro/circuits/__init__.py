@@ -1,0 +1,29 @@
+"""Circuit-level building blocks of the paper's test structure.
+
+* :mod:`repro.circuits.bias_pair` — the Fig. 2 configuration: QA/QB
+  forced to (nominally) equal collector currents, dVBE read out;
+* :mod:`repro.circuits.bandgap_cell` — the Fig. 3 programmable bandgap
+  test cell as a netlist builder;
+* :mod:`repro.circuits.trim` — the RadjA/ADJ trim machinery;
+* :mod:`repro.circuits.reference` — a closed-form behavioural model of
+  the same cell for fast sweeps and Monte-Carlo.
+"""
+
+from .bias_pair import BiasPairConfig, BiasedPair
+from .bandgap_cell import BandgapCellConfig, build_bandgap_cell, CellNodes
+from .trim import TrimNetwork, PAPER_RADJA_SWEEP_OHM
+from .reference import BehaviouralBandgap
+from .sub1v import Sub1VBandgap, Sub1VConfig
+
+__all__ = [
+    "BiasPairConfig",
+    "BiasedPair",
+    "BandgapCellConfig",
+    "build_bandgap_cell",
+    "CellNodes",
+    "TrimNetwork",
+    "PAPER_RADJA_SWEEP_OHM",
+    "BehaviouralBandgap",
+    "Sub1VBandgap",
+    "Sub1VConfig",
+]

@@ -1,0 +1,222 @@
+"""The programmable bandgap test cell (paper Fig. 3) as a netlist.
+
+Topology (a Kuijk-style realisation of the paper's cell — the published
+schematic omits the amplifier internals and exact interconnect, so the
+documented functional behaviour is reproduced with the paper's device and
+resistor roles; see DESIGN.md section 2):
+
+    vref ---RX1---> p4 ---[QA 1x, diode-connected PNP]---> gnd
+    vref ---RX2---> nb ---RB---> p5 ---[QB 8x]-----------> gnd
+    vref ---RC----> nin ---[QIN 1x]----------------------> gnd
+    op-amp:  (+) = p4, (-) = nb, out = vref
+
+* RX1 = RX2 force equal branch currents once the op-amp has equalised
+  the branch-top voltages ("Fixing the same potential through RX1 and
+  RX2 imposes the equality between the collector current of QA and QB").
+* The loop balance gives ``I = (dVBE + vos_eff)/RB`` and
+  ``VREF = VBE_A + I*RX1`` — the paper's "built-in voltage plus VPTAT".
+* QB (and QA, 8x smaller) carry parasitic substrate transistors whose
+  leakage starves their junctions at high temperature — the cause of the
+  measured VREF(T) rise the standard model card misses (Fig. 8).
+* ``RadjA`` (section 6) is wired through :class:`repro.circuits.trim.
+  TrimNetwork` as a temperature-dependent offset on the amplifier.
+* Pads P4/P5 expose the pair's emitters for the dVBE/die-temperature
+  measurement (Fig. 2 configuration, "programmable" use of the cell);
+  a per-sample measurement-path offset can be inserted in the P5 tap.
+
+Every non-ideality can be switched off, which the tests use to verify
+that the ideal cell is an exact textbook bandgap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bjt.parameters import BJTParameters, PAPER_PNP_SMALL
+from ..bjt.substrate import SubstratePNP
+from ..errors import NetlistError
+from ..spice.elements import OpAmp, Resistor, VoltageSource
+from ..spice.elements.bjt import add_bjt
+from ..spice.netlist import Circuit
+from .trim import TrimNetwork
+
+
+@dataclass(frozen=True)
+class CellNodes:
+    """Node names of interest in the built cell."""
+
+    vref: str = "vref"
+    p4: str = "p4"      # QA emitter / branch-A top (pad P4)
+    nb: str = "nb"      # branch-B top (op-amp inverting sense)
+    p5: str = "p5"      # QB emitter (pad P5)
+    p5_pad: str = "p5_pad"  # measurement tap including path offset
+    nin: str = "nin"    # QIN emitter (single-BJT measurement vehicle)
+
+
+@dataclass(frozen=True)
+class BandgapCellConfig:
+    """Component values and non-idealities of the test cell.
+
+    Defaults give a ~1.23 V reference biased at ~9 uA per branch with the
+    compensation optimum near the paper's swept RadjA values.
+    """
+
+    #: Unit device (QA/QIN); QB is its area-8 copy.
+    params: BJTParameters = field(default_factory=lambda: PAPER_PNP_SMALL)
+    area_ratio: float = 8.0
+    #: Branch resistors from vref to the branch tops [ohm].
+    rx1: float = 58.0e3
+    rx2: float = 58.0e3
+    #: dVBE gain resistor [ohm].
+    rb: float = 6.0e3
+    #: QIN bias resistor [ohm].
+    rc: float = 58.0e3
+    #: n-well resistor linear tempco [1/K] (all resistors track together,
+    #: so ratios are temperature-flat, as on the paper's die).
+    resistor_tc1: float = 1.5e-3
+    #: Op-amp open-loop gain and untrimmed input offset.
+    opamp_gain: float = 1.0e4
+    opamp_vos: float = 0.0
+    #: Multiplicative mismatch on QB's IS (1.0 = matched).
+    is_mismatch: float = 1.0
+    #: Parasitic substrate transistor of the unit device; scaled by area
+    #: for QB.  None disables the parasitic entirely.
+    substrate_unit: Optional[SubstratePNP] = field(
+        default_factory=lambda: SubstratePNP(area=1.0)
+    )
+    #: Saturation-drive factor of the parasitics (the cell runs its PNPs
+    #: "at the limit of the saturation", so the default is fully driven).
+    substrate_drive: float = 1.0
+    #: Adjustment resistor (paper section 6) [ohm].
+    radja: float = 0.0
+    #: Offset inserted in the P5 measurement tap [V] (measurement-path
+    #: series drops; per-sample).
+    p5_tap_offset_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.rx1, self.rx2, self.rb, self.rc) <= 0.0:
+            raise NetlistError("cell resistors must be positive")
+        if self.area_ratio <= 1.0:
+            raise NetlistError("area ratio must exceed 1")
+        if self.radja < 0.0:
+            raise NetlistError("RadjA must be non-negative")
+        if not 0.0 <= self.substrate_drive <= 1.0:
+            raise NetlistError("substrate drive must be in [0, 1]")
+
+    def qb_params(self) -> BJTParameters:
+        """QB: area-scaled copy of the unit device with IS mismatch."""
+        from dataclasses import replace
+
+        scaled = self.params.scaled(self.area_ratio, name="QB")
+        if self.is_mismatch != 1.0:
+            scaled = replace(scaled, is_=scaled.is_ * self.is_mismatch)
+        return scaled
+
+    def trim(self) -> TrimNetwork:
+        """The trim network corresponding to this configuration."""
+        leak_b = (
+            None
+            if self.substrate_unit is None
+            else self.substrate_unit.scaled(self.area_ratio)
+        )
+        return TrimNetwork(
+            radja_ohm=self.radja,
+            base_offset_v=self.opamp_vos,
+            leakage=leak_b,
+            drive=self.substrate_drive,
+        )
+
+
+def build_bandgap_cell(
+    config: Optional[BandgapCellConfig] = None,
+    nodes: CellNodes = CellNodes(),
+) -> Circuit:
+    """Build the test-cell netlist for the given configuration."""
+    config = config or BandgapCellConfig()
+    circuit = Circuit(title="bandgap test cell (paper Fig. 3)")
+    tc = config.resistor_tc1
+    tnom = config.params.tnom
+
+    # Branch resistors.
+    circuit.add(Resistor("RX1", nodes.vref, nodes.p4, config.rx1, tc1=tc, tnom=tnom))
+    circuit.add(Resistor("RX2", nodes.vref, nodes.nb, config.rx2, tc1=tc, tnom=tnom))
+    circuit.add(Resistor("RB", nodes.nb, nodes.p5, config.rb, tc1=tc, tnom=tnom))
+    circuit.add(Resistor("RC", nodes.vref, nodes.nin, config.rc, tc1=tc, tnom=tnom))
+
+    # Devices (PNP, emitter up, diode-connected to ground).  Substrate
+    # leakage exits at the *emitter* node: these are substrate/lateral
+    # PNPs whose parasitic steals emitter current (paper section 4).
+    sub_a = sub_b = None
+    if config.substrate_unit is not None:
+        sub_a = config.substrate_unit
+        sub_b = config.substrate_unit.scaled(config.area_ratio)
+    qa = add_bjt(circuit, "QA", "0", "0", nodes.p4, config.params)
+    qb = add_bjt(circuit, "QB", "0", "0", nodes.p5, config.qb_params())
+    add_bjt(circuit, "QIN", "0", "0", nodes.nin, config.params)
+    if sub_a is not None:
+        _attach_emitter_leakage(circuit, "QA", nodes.p4, sub_a, config.substrate_drive)
+        _attach_emitter_leakage(circuit, "QB", nodes.p5, sub_b, config.substrate_drive)
+
+    # The amplifier, with the RadjA trim folded into its offset law.
+    trim = config.trim()
+    circuit.add(
+        OpAmp(
+            "AMP",
+            nodes.p4,
+            nodes.nb,
+            nodes.vref,
+            gain=config.opamp_gain,
+            vos=trim.offset_law(),
+        )
+    )
+
+    # Measurement tap for pad P5: a series source models the path offset
+    # (no current flows into the measurement instrument).  The sign is
+    # chosen so a positive offset *increases* the measured dVBE =
+    # V(P4) - V(P5_pad), matching the convention of
+    # BiasedPair.delta_vbe_offset_v.
+    circuit.add(
+        VoltageSource("VP5TAP", nodes.p5_pad, nodes.p5, -config.p5_tap_offset_v)
+    )
+    return circuit
+
+
+def _attach_emitter_leakage(
+    circuit: Circuit,
+    device_name: str,
+    emitter_node: str,
+    substrate: SubstratePNP,
+    drive: float,
+) -> None:
+    """Divert the parasitic's leakage from the emitter node to ground.
+
+    Implemented as a temperature-law current source (the parasitic's
+    saturation-current law times the drive factor).
+    """
+    from ..spice.elements import CurrentSource
+
+    def leakage(temperature_k: float) -> float:
+        return substrate.leakage_current(temperature_k) * drive
+
+    circuit.add(CurrentSource(f"ILEAK_{device_name}", emitter_node, "0", leakage))
+
+
+def measure_delta_vbe(op_point, nodes: CellNodes = CellNodes()) -> float:
+    """dVBE as measured at the pads: ``V(P4) - V(P5_pad)`` [V].
+
+    With a zero tap offset this is the junction dVBE (plus series-RE
+    drops); per-sample tap offsets shift it, which is exactly the error
+    the paper's Table 1 quantifies through the computed temperatures.
+    """
+    return op_point.voltage(nodes.p4) - op_point.voltage(nodes.p5_pad)
+
+
+def measure_vref(op_point, nodes: CellNodes = CellNodes()) -> float:
+    """The reference output voltage [V]."""
+    return op_point.voltage(nodes.vref)
+
+
+def measure_vbe_qin(op_point, nodes: CellNodes = CellNodes()) -> float:
+    """QIN's base-emitter voltage [V] (single-BJT measurement vehicle)."""
+    return op_point.voltage(nodes.nin)

@@ -1,0 +1,180 @@
+"""The Fig. 2 bias configuration: the device under test.
+
+Two PNPs QA (1x) and QB (p-times, p > 1) are forced to the same collector
+current; the difference of their base-emitter voltages
+
+    dVBE(T) = VBE_A - VBE_B = (kT/q) ln p + (kT/q) ln X(T) + epsilon(T)
+
+is the PTAT thermometer of the method.  ``X(T)`` is the collector-current
+ratio product of paper eq. 20 (unity for a perfect external source) and
+``epsilon`` collects the cell's non-idealities (amplifier-stage offset,
+substrate-leakage imbalance, series drops) — the quantities the
+measurement layer injects per sample.
+
+:class:`BiasedPair` is the fast, closed-form evaluation used by the
+measurement campaign; the full netlist path goes through
+:mod:`repro.circuits.bandgap_cell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..bjt.pair import MatchedPair
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class BiasPairConfig:
+    """Bias conditions of the pair measurement.
+
+    Attributes
+    ----------
+    collector_current_a:
+        Collector current forced into QA [A] at the reference
+        temperature.  May be temperature dependent via ``current_law``.
+    current_law:
+        Optional callable ``I(T)`` for both branches; models the on-chip
+        bias whose current tracks temperature ("The collector currents
+        ICQA and ICQB increase with temperature", section 4).  ``None``
+        means an ideal, temperature-flat external source.
+    current_ratio_b:
+        Static multiplier on QB's current relative to QA's (1.0 = the
+        equality RX1/RX2 are meant to enforce).
+    vce_headroom:
+        Collector-emitter headroom [V] seen by the devices; the paper's
+        low-voltage cell runs them "at the limit of the saturation"
+        (small headroom), which is what wakes the parasitic substrate
+        transistor up.
+    """
+
+    collector_current_a: float = 8.9e-6
+    current_law: Optional[Callable[[float], float]] = None
+    current_ratio_b: float = 1.0
+    vce_headroom: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.collector_current_a <= 0.0:
+            raise ModelError("bias current must be positive")
+        if self.current_ratio_b <= 0.0:
+            raise ModelError("current ratio must be positive")
+
+
+@dataclass
+class BiasedPair:
+    """A matched pair under a bias configuration, with offset injection."""
+
+    pair: MatchedPair = field(default_factory=MatchedPair)
+    config: BiasPairConfig = field(default_factory=BiasPairConfig)
+    #: Additive error on the *measured* dVBE [V]: amplifier-stage offset
+    #: plus measurement-path series drops (per-sample, see
+    #: repro.measurement.samples).
+    delta_vbe_offset_v: float = 0.0
+
+    def currents_at(self, temperature_k: float) -> tuple:
+        """(I_A, I_B) [A] at temperature."""
+        if self.config.current_law is not None:
+            base = float(self.config.current_law(temperature_k))
+        else:
+            base = self.config.collector_current_a
+        if base <= 0.0:
+            raise ModelError("bias current law returned a non-positive current")
+        return base, base * self.config.current_ratio_b
+
+    def true_delta_vbe(self, temperature_k: float) -> float:
+        """Junction dVBE [V]: what an ideal voltmeter at the junctions sees."""
+        ia, ib = self.currents_at(temperature_k)
+        return self.pair.delta_vbe(
+            temperature_k,
+            ia,
+            current_b=ib,
+            vce_headroom=self.config.vce_headroom,
+        )
+
+    def measured_delta_vbe(self, temperature_k: float) -> float:
+        """dVBE as read at the pads [V]: junction value plus the offset."""
+        return self.true_delta_vbe(temperature_k) + self.delta_vbe_offset_v
+
+    def vbe_a(self, temperature_k: float) -> float:
+        """QA's junction VBE [V] at the configured bias."""
+        ia, _ = self.currents_at(temperature_k)
+        if self.pair.substrate_a is not None:
+            ia = ia - self.pair.substrate_a.leakage_current(
+                temperature_k, self.config.vce_headroom
+            )
+        if ia <= 0.0:
+            raise ModelError("substrate leakage exceeds QA bias current")
+        return self.pair.qa.vbe_for_ic(ia, temperature_k)
+
+    def vbe_b(self, temperature_k: float) -> float:
+        """QB's junction VBE [V] at the configured bias."""
+        _, ib = self.currents_at(temperature_k)
+        if self.pair.substrate_b is not None:
+            ib = ib - self.pair.substrate_b.leakage_current(
+                temperature_k, self.config.vce_headroom
+            )
+        if ib <= 0.0:
+            raise ModelError("substrate leakage exceeds QB bias current")
+        return self.pair.qb.vbe_for_ic(ib, temperature_k)
+
+    def current_ratio_x(self, t1: float, t2: float) -> float:
+        """The paper's eq. 20 ratio ``X`` for temperatures ``t1``/``t2``.
+
+        ``X = (IC1(T1)*IC2(T2)) / (IC1(T2)*IC2(T1))`` where branch 1 is
+        QA and branch 2 is QB.  Unity whenever the two branches share the
+        same temperature law, regardless of what that law is.
+        """
+        ia1, ib1 = self.currents_at(t1)
+        ia2, ib2 = self.currents_at(t2)
+        return (ia1 * ib2) / (ia2 * ib1)
+
+
+def build_bias_pair_circuit(
+    biased: BiasedPair,
+    temperature_k: float = 300.15,
+) -> "Circuit":
+    """The Fig. 2 configuration as a netlist.
+
+    Two external current sources force the (nominally equal) collector
+    currents into the diode-connected pair; nodes ``pa``/``pb`` are the
+    emitter pads the dVBE voltmeter probes.  Substrate leakage, when the
+    pair models it, is diverted from the emitter nodes exactly as in the
+    bandgap cell.  The netlist path cross-validates the closed-form
+    :class:`BiasedPair` evaluation (see the test suite).
+    """
+    from ..spice.elements import CurrentSource
+    from ..spice.elements.bjt import add_bjt
+    from ..spice.netlist import Circuit
+
+    ia, ib = biased.currents_at(temperature_k)
+    circuit = Circuit(title="bias pair (paper Fig. 2)")
+    circuit.add(CurrentSource("IA", "0", "pa", ia))
+    circuit.add(CurrentSource("IB", "0", "pb", ib))
+    pair = biased.pair
+    add_bjt(circuit, "QA", "0", "0", "pa", pair.qa.params)
+    add_bjt(circuit, "QB", "0", "0", "pb", pair.qb.params)
+    headroom = biased.config.vce_headroom
+    if pair.substrate_a is not None:
+        drive_a = pair.substrate_a.saturation_drive(headroom)
+        if drive_a > 0.0:
+            circuit.add(
+                CurrentSource(
+                    "ILEAK_QA",
+                    "pa",
+                    "0",
+                    lambda t, d=drive_a: pair.substrate_a.leakage_current(t) * d,
+                )
+            )
+    if pair.substrate_b is not None:
+        drive_b = pair.substrate_b.saturation_drive(headroom)
+        if drive_b > 0.0:
+            circuit.add(
+                CurrentSource(
+                    "ILEAK_QB",
+                    "pb",
+                    "0",
+                    lambda t, d=drive_b: pair.substrate_b.leakage_current(t) * d,
+                )
+            )
+    return circuit

@@ -1,0 +1,157 @@
+"""Closed-form behavioural model of the bandgap test cell.
+
+Solves the same loop equations as the netlist in
+:mod:`repro.circuits.bandgap_cell`, but by direct fixed-point iteration
+on the branch current instead of a full MNA solve:
+
+    I(T) = (dVBE_junction(I, T) + vos_eff(T)) / RB(T)
+    VREF(T) = VBE_A(I - I_leak_A, T) + I * RX1(T)
+
+This is ~100x faster than the netlist path and is what the Monte-Carlo
+and Fig. 8 sweeps use; an integration test pins the two paths against
+each other to sub-mV agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bjt.pair import MatchedPair
+from ..errors import ConvergenceError, ModelError
+from .bandgap_cell import BandgapCellConfig
+
+
+@dataclass
+class BehaviouralBandgap:
+    """Fast evaluation of the cell's VREF(T) and branch current."""
+
+    config: BandgapCellConfig = field(default_factory=BandgapCellConfig)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        self._pair = MatchedPair(
+            base_params=cfg.params,
+            area_ratio=cfg.area_ratio,
+            is_mismatch=cfg.is_mismatch,
+            substrate_a=cfg.substrate_unit,
+            substrate_b=(
+                None
+                if cfg.substrate_unit is None
+                else cfg.substrate_unit.scaled(cfg.area_ratio)
+            ),
+        )
+        self._trim = cfg.trim()
+
+    # ------------------------------------------------------------------
+    def _resistance(self, nominal: float, temperature_k: float) -> float:
+        cfg = self.config
+        dt = temperature_k - cfg.params.tnom
+        return nominal * (1.0 + cfg.resistor_tc1 * dt)
+
+    def _leakages(self, temperature_k: float) -> tuple:
+        cfg = self.config
+        if cfg.substrate_unit is None or cfg.substrate_drive == 0.0:
+            return 0.0, 0.0
+        unit = cfg.substrate_unit.leakage_current(temperature_k) * cfg.substrate_drive
+        return unit, unit * cfg.area_ratio
+
+    def _finite_gain_offset(self, vref_estimate: float) -> float:
+        """The op-amp's finite-gain equilibrium term [V].
+
+        At equilibrium the tanh stage needs a differential input of
+        ``(swing/gain) * atanh((vref - center)/swing)``; it enters the
+        loop exactly like an offset of the opposite sign.
+        """
+        cfg = self.config
+        center, swing = 2.5, 2.5  # default rails of the cell's op-amp
+        arg = max(min((vref_estimate - center) / swing, 0.999), -0.999)
+        return -(swing / cfg.opamp_gain) * math.atanh(arg)
+
+    def branch_current(self, temperature_k: float, max_iterations: int = 80,
+                       tol_a: float = 1e-15,
+                       vref_estimate: float = 1.23) -> float:
+        """Solve the loop fixed point for the branch current [A]."""
+        cfg = self.config
+        rb = self._resistance(cfg.rb, temperature_k)
+        vos = self._trim.effective_offset(temperature_k) + self._finite_gain_offset(
+            vref_estimate
+        )
+        leak_a, leak_b = self._leakages(temperature_k)
+        # Ideal seed: I = VT ln p / RB.
+        current = max(self._pair.ideal_delta_vbe(temperature_k) / rb, 1e-9)
+        for _ in range(max_iterations):
+            ia = current - leak_a
+            ib = current - leak_b
+            if ia <= 0.0 or ib <= 0.0:
+                raise ModelError(
+                    "substrate leakage exceeds the loop current at "
+                    f"{temperature_k:.1f} K"
+                )
+            dvbe = self._pair.qa.vbe_for_ic(ia, temperature_k) - self._pair.qb.vbe_for_ic(
+                ib, temperature_k
+            )
+            updated = (dvbe + vos) / rb
+            if updated <= 0.0:
+                raise ConvergenceError(
+                    "loop equation has no positive-current solution "
+                    f"(vos={vos:.3e} V at {temperature_k:.1f} K)"
+                )
+            if abs(updated - current) < tol_a:
+                return updated
+            current = updated
+        raise ConvergenceError(
+            f"behavioural loop did not converge at {temperature_k:.1f} K"
+        )
+
+    def _vref_once(self, temperature_k: float, vref_estimate: float) -> float:
+        cfg = self.config
+        current = self.branch_current(temperature_k, vref_estimate=vref_estimate)
+        leak_a, _ = self._leakages(temperature_k)
+        vbe_a = self._pair.qa.vbe_for_ic(current - leak_a, temperature_k)
+        # Series-RE drop of QA (the netlist path has the explicit
+        # resistor; the unit device's RE carries I + its base current,
+        # but the base-current part is < 2% and folded in here).
+        vbe_a += current * cfg.params.re
+        return vbe_a + current * self._resistance(cfg.rx1, temperature_k)
+
+    def vref(self, temperature_k: float) -> float:
+        """Reference output voltage at temperature [V].
+
+        Two passes: the finite-gain offset term depends weakly on VREF
+        itself, so the first pass's estimate feeds the second.
+        """
+        estimate = self._vref_once(temperature_k, 1.23)
+        return self._vref_once(temperature_k, estimate)
+
+    def delta_vbe_at_pads(self, temperature_k: float) -> float:
+        """Pad-measured dVBE [V] including the P5 tap offset."""
+        cfg = self.config
+        current = self.branch_current(temperature_k)
+        leak_a, leak_b = self._leakages(temperature_k)
+        dvbe = self._pair.qa.vbe_for_ic(
+            current - leak_a, temperature_k
+        ) - self._pair.qb.vbe_for_ic(current - leak_b, temperature_k)
+        # Asymmetric series-RE drops (QA: RE; QB: RE/p) appear in the pad
+        # voltages exactly as in the netlist.
+        dvbe += current * cfg.params.re * (1.0 - 1.0 / cfg.area_ratio)
+        return dvbe + cfg.p5_tap_offset_v
+
+    def vbe_qin(self, temperature_k: float) -> float:
+        """QIN branch VBE [V] — the single-BJT measurement vehicle."""
+        cfg = self.config
+        vref = self.vref(temperature_k)
+        rc = self._resistance(cfg.rc, temperature_k)
+        qin = self._pair.qa  # same unit device
+        # Solve vref = VBE(I) + I*(RC + RE) for the QIN branch current.
+        current = max((vref - 0.6) / rc, 1e-9)
+        for _ in range(60):
+            vbe = qin.vbe_for_ic(current, temperature_k)
+            updated = (vref - vbe) / (rc + cfg.params.re)
+            if updated <= 0.0:
+                raise ConvergenceError("QIN branch starved")
+            if abs(updated - current) < 1e-15:
+                return vbe
+            current = updated
+        raise ConvergenceError(f"QIN branch did not converge at {temperature_k:.1f} K")

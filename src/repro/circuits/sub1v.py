@@ -1,0 +1,154 @@
+"""Sub-1V current-mode bandgap reference (the paper's motivation).
+
+The paper's introduction motivates the whole exercise with references
+"operating down to 600 mV" [Banba 1999, Annema 1999, Rincon-Mora 1998]:
+at such supply voltages the classic VBE-plus-PTAT stack (>= 1.2 V) is
+impossible and errors of tens of meV in the effective ``EG`` are fatal.
+The conclusion positions the test structure as the tool "to prototype
+the design of more accurate low voltage reference circuit" — this module
+is that prototype.
+
+Topology (current-mode, after Banba): the op-amp loop generates
+
+    I_PTAT = dVBE / R1        (the matched pair, as in the test cell)
+    I_CTAT = VBE_A / R2       (QA's own junction voltage over R2)
+
+and the output mirrors the summed current into R3:
+
+    VREF = R3 * (I_PTAT + I_CTAT) = (R3/R2) * (VBE_A + (R2/R1) * dVBE)
+
+— the full bandgap voltage scaled by ``R3/R2``, placeable anywhere
+below (or above) 1.2 V.  The same parasitic substrate leakage that
+bends the test cell's VREF bends this one too, scaled identically, so
+the in-situ extracted model card transfers directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bjt.pair import MatchedPair
+from ..bjt.parameters import BJTParameters, PAPER_PNP_SMALL
+from ..bjt.substrate import SubstratePNP
+from ..errors import ConvergenceError, ModelError
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Sub1VConfig:
+    """Component values of the current-mode reference.
+
+    Defaults place VREF near 0.66 V (the "down to 600 mV" regime) with
+    the same ~9 uA PTAT branch current as the test cell.
+    """
+
+    params: BJTParameters = field(default_factory=lambda: PAPER_PNP_SMALL)
+    area_ratio: float = 8.0
+    #: PTAT resistor: I_PTAT = dVBE / r1 [ohm].
+    r1: float = 6.0e3
+    #: CTAT resistor: I_CTAT = VBE / r2 [ohm].  R2/R1 ~ 9.3 balances
+    #: the ~ -1.66 mV/K VBE slope (at the ~9 uA operating point) against
+    #: ln(8)*k/q per unit of PTAT gain.
+    r2: float = 55.5e3
+    #: Output resistor: VREF = r3 * (I_PTAT + I_CTAT) [ohm].
+    r3: float = 31.6e3
+    #: Shared resistor tempco (ratios stay flat, as on-die).
+    resistor_tc1: float = 1.5e-3
+    is_mismatch: float = 1.0
+    substrate_unit: Optional[SubstratePNP] = field(
+        default_factory=lambda: SubstratePNP(area=1.0)
+    )
+    substrate_drive: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.r1, self.r2, self.r3) <= 0.0:
+            raise ModelError("resistors must be positive")
+        if self.area_ratio <= 1.0:
+            raise ModelError("area ratio must exceed 1")
+        if not 0.0 <= self.substrate_drive <= 1.0:
+            raise ModelError("substrate drive must be in [0, 1]")
+
+    @property
+    def nominal_scale(self) -> float:
+        """The ``R3/R2`` output scale factor."""
+        return self.r3 / self.r2
+
+
+@dataclass
+class Sub1VBandgap:
+    """Closed-form evaluation of the current-mode reference."""
+
+    config: Sub1VConfig = field(default_factory=Sub1VConfig)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        self._pair = MatchedPair(
+            base_params=cfg.params,
+            area_ratio=cfg.area_ratio,
+            is_mismatch=cfg.is_mismatch,
+            substrate_a=cfg.substrate_unit,
+            substrate_b=(
+                None
+                if cfg.substrate_unit is None
+                else cfg.substrate_unit.scaled(cfg.area_ratio)
+            ),
+        )
+
+    def _resistance(self, nominal: float, temperature_k: float) -> float:
+        cfg = self.config
+        return nominal * (1.0 + cfg.resistor_tc1 * (temperature_k - cfg.params.tnom))
+
+    def _leakages(self, temperature_k: float) -> tuple:
+        cfg = self.config
+        if cfg.substrate_unit is None or cfg.substrate_drive == 0.0:
+            return 0.0, 0.0
+        unit = cfg.substrate_unit.leakage_current(temperature_k) * cfg.substrate_drive
+        return unit, unit * cfg.area_ratio
+
+    def ptat_current(self, temperature_k: float, max_iterations: int = 80) -> float:
+        """Solve ``I = dVBE(I)/R1`` by fixed point [A]."""
+        cfg = self.config
+        r1 = self._resistance(cfg.r1, temperature_k)
+        leak_a, leak_b = self._leakages(temperature_k)
+        current = max(self._pair.ideal_delta_vbe(temperature_k) / r1, 1e-9)
+        for _ in range(max_iterations):
+            ia, ib = current - leak_a, current - leak_b
+            if ia <= 0.0 or ib <= 0.0:
+                raise ModelError("substrate leakage exceeds the PTAT current")
+            dvbe = self._pair.qa.vbe_for_ic(ia, temperature_k) - self._pair.qb.vbe_for_ic(
+                ib, temperature_k
+            )
+            updated = dvbe / r1
+            if abs(updated - current) < 1e-15:
+                return updated
+            current = updated
+        raise ConvergenceError(
+            f"PTAT loop did not converge at {temperature_k:.1f} K"
+        )
+
+    def vbe(self, temperature_k: float) -> float:
+        """QA's junction voltage at the PTAT operating point [V]."""
+        leak_a, _ = self._leakages(temperature_k)
+        current = self.ptat_current(temperature_k)
+        return self._pair.qa.vbe_for_ic(current - leak_a, temperature_k)
+
+    def vref(self, temperature_k: float) -> float:
+        """The sub-1V output: ``R3 * (dVBE/R1 + VBE/R2)`` [V]."""
+        cfg = self.config
+        r2 = self._resistance(cfg.r2, temperature_k)
+        r3 = self._resistance(cfg.r3, temperature_k)
+        i_ptat = self.ptat_current(temperature_k)
+        i_ctat = self.vbe(temperature_k) / r2
+        return r3 * (i_ptat + i_ctat)
+
+    def scaled_to(self, target_vref: float, temperature_k: float = 300.15) -> "Sub1VBandgap":
+        """Return a copy with R3 rescaled so VREF(temperature_k) hits
+        ``target_vref`` — the one-knob output placement the current-mode
+        topology is loved for."""
+        if target_vref <= 0.0:
+            raise ModelError("target VREF must be positive")
+        from dataclasses import replace
+
+        current = self.vref(temperature_k)
+        new_r3 = self.config.r3 * target_vref / current
+        return Sub1VBandgap(replace(self.config, r3=new_r3))

@@ -1,0 +1,93 @@
+"""The RadjA adjustment of the paper's section 6.
+
+The paper adds an adjustment resistor ``RadjA`` "between P5 and P6 in
+order to correct the non linear component of dVBE due to the substrate
+leakage current and the offset of op-amp stage".  Our realisation: a
+replica of QB's substrate-leakage current is routed through RadjA into
+the amplifier's input path, so the voltage seen by the loop is
+
+    vos_eff(T) = vos0 - RadjA * I_leak_B(T) * drive
+
+Writing the loop balance of the cell (see ``bandgap_cell``) with QB's
+junction starved by the same leakage shows the leakage error enters as
+``+ (7/8) * VT/I * I_leak`` while the compensation enters as
+``- RadjA * I_leak``; they cancel at
+
+    RadjA* = (7/8) * VT / I_bias
+
+which for the cell's ~9 uA bias is ~2.5 kOhm — squarely inside the
+paper's swept values {0, 1.8k, 2.5k, 2.7k}, with 2.7k slightly
+overcorrecting exactly as its Fig. 8 (S4) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..bjt.substrate import SubstratePNP
+from ..constants import thermal_voltage
+from ..errors import ModelError
+
+#: The RadjA values of the paper's Fig. 8 (curves S1-S4) [ohm].
+PAPER_RADJA_SWEEP_OHM = (0.0, 1.8e3, 2.5e3, 2.7e3)
+
+
+@dataclass(frozen=True)
+class TrimNetwork:
+    """RadjA trim: builds the effective op-amp offset law.
+
+    Parameters
+    ----------
+    radja_ohm:
+        Adjustment resistor value [ohm] (0 disables the compensation).
+    base_offset_v:
+        The untrimmed amplifier-stage offset (per-sample).
+    leakage:
+        The parasitic whose replica flows through RadjA (QB's, i.e. the
+        8x device's, in the paper's cell).
+    drive:
+        Saturation-drive factor of the parasitic in [0, 1].
+    """
+
+    radja_ohm: float = 0.0
+    base_offset_v: float = 0.0
+    leakage: Optional[SubstratePNP] = None
+    drive: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radja_ohm < 0.0:
+            raise ModelError("RadjA must be non-negative")
+        if not 0.0 <= self.drive <= 1.0:
+            raise ModelError("drive must be in [0, 1]")
+
+    def compensation_v(self, temperature_k: float) -> float:
+        """Voltage the trim subtracts from the loop at temperature [V]."""
+        if self.leakage is None or self.radja_ohm == 0.0 or self.drive == 0.0:
+            return 0.0
+        return self.radja_ohm * self.leakage.leakage_current(temperature_k) * self.drive
+
+    def effective_offset(self, temperature_k: float) -> float:
+        """``vos_eff(T) = vos0 - RadjA * I_leak(T) * drive`` [V]."""
+        return self.base_offset_v - self.compensation_v(temperature_k)
+
+    def offset_law(self) -> Callable[[float], float]:
+        """Return ``vos_eff`` as a callable for the OpAmp element."""
+        return self.effective_offset
+
+
+def optimal_radja(bias_current_a: float, temperature_k: float = 300.15,
+                  area_ratio: float = 8.0) -> float:
+    """First-order optimum ``RadjA* = (1 - 1/p) * VT / I`` [ohm].
+
+    Derivation: the leakage steals ``I_leak`` from QB's junction and
+    ``I_leak/p`` from QA's, perturbing the junction dVBE by
+    ``+ VT * (1 - 1/p) * I_leak / I``; the trim subtracts
+    ``RadjA * I_leak``.  Setting the two equal cancels the leakage to
+    first order independently of its magnitude.
+    """
+    if bias_current_a <= 0.0:
+        raise ModelError("bias current must be positive")
+    if area_ratio <= 1.0:
+        raise ModelError("area ratio must exceed 1")
+    return (1.0 - 1.0 / area_ratio) * thermal_voltage(temperature_k) / bias_current_a

@@ -1,0 +1,48 @@
+"""Command-line experiment runner: ``python -m repro [options] [experiment ...]``.
+
+With no experiment names, runs every registered experiment and prints
+the summary followed by each rendered section.  ``--export DIR`` also
+writes each regenerated table as ``DIR/<experiment>.csv``.  Exit status
+is non-zero if any shape check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from .errors import ReproError
+from .experiments import EXPERIMENTS, render_result, render_summary, run_experiment
+from .experiments.export import write_csv
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("Known experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    export_dir = None
+    if "--export" in argv:
+        index = argv.index("--export")
+        try:
+            export_dir = argv[index + 1]
+        except IndexError:
+            raise ReproError("--export requires a directory argument") from None
+        del argv[index : index + 2]
+    names = argv or sorted(EXPERIMENTS)
+    results = {}
+    for name in names:
+        results[name] = run_experiment(name)
+    for name in names:
+        print(render_result(results[name]))
+    if export_dir is not None:
+        for name in names:
+            path = write_csv(results[name], export_dir)
+            print(f"exported {name} -> {path}")
+    print(render_summary(results))
+    return 0 if all(result.passed for result in results.values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Physical constants used throughout the library.
+
+Values follow CODATA 2018 (exact SI definitions for ``q`` and ``k``).
+The paper's equations are written in terms of the electron charge ``q``,
+the Boltzmann constant ``k`` and their ratio; all three are exposed here
+so that every module spells temperature-voltage conversions the same way.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge [C] (exact, SI 2019 redefinition).
+Q_ELECTRON = 1.602176634e-19
+
+#: Boltzmann constant [J/K] (exact, SI 2019 redefinition).
+K_BOLTZMANN = 1.380649e-23
+
+#: Boltzmann constant expressed in eV/K.  Dividing an energy in eV by this
+#: constant gives the equivalent temperature in kelvin.
+K_BOLTZMANN_EV = K_BOLTZMANN / Q_ELECTRON
+
+#: ``k/q`` in V/K — the thermal-voltage slope.  ``VT(T) = K_OVER_Q * T``.
+K_OVER_Q = K_BOLTZMANN / Q_ELECTRON
+
+#: 0 degrees Celsius in kelvin.
+ZERO_CELSIUS = 273.15
+
+#: Default reference temperature used by SPICE model cards [K] (27 C).
+T_NOMINAL = 300.15
+
+#: Silicon energy band gap at 300 K [eV] — textbook value, used only as a
+#: sanity anchor in tests and defaults (the paper's point is precisely that
+#: the *effective* value to use in eq. 1 differs from this).
+EG_SILICON_300K = 1.12
+
+#: Effective density-of-states product prefactor for silicon, such that
+#: ``ni(300 K)`` lands near the accepted 1.0e10 cm^-3 ballpark when combined
+#: with the T^1.5 law in :mod:`repro.physics.intrinsic`.
+NI_SILICON_300K = 1.0e10  # [cm^-3]
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return the thermal voltage ``VT = k*T/q`` in volts.
+
+    Parameters
+    ----------
+    temperature_k:
+        Absolute temperature in kelvin.  Must be positive; a
+        ``ValueError`` is raised otherwise because every caller's
+        downstream math (logarithms, divisions) would silently produce
+        garbage for ``T <= 0``.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return K_OVER_Q * temperature_k

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the library.
+
+Everything raised deliberately by :mod:`repro` derives from
+:class:`ReproError` so applications can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is malformed (unknown node, duplicate name,
+    missing ground reference, bad element value...)."""
+
+
+class ConvergenceError(ReproError):
+    """The nonlinear DC solver failed to converge.
+
+    Carries the best iterate found so callers can inspect how far the
+    solve got (useful when diagnosing pathological bias points).
+    """
+
+    def __init__(self, message: str, best_residual: float = float("nan")):
+        super().__init__(message)
+        self.best_residual = best_residual
+
+
+class ExtractionError(ReproError):
+    """Parameter extraction failed (degenerate data, singular system...)."""
+
+
+class MeasurementError(ReproError):
+    """A simulated instrument was asked to do something out of range."""
+
+
+class ModelError(ReproError):
+    """A device model received unphysical parameters or bias."""

@@ -1,0 +1,40 @@
+"""Experiment runners: one module per paper artefact.
+
+Every table and figure of the paper's evaluation has a runner that
+regenerates its data and checks the shape criteria of DESIGN.md:
+
+======================  =========================================
+``fig1``                EG(T) model comparison (Fig. 1)
+``fig5``                IC(VBE) family (Fig. 5)
+``fig6``                characteristic straights C1/C2/C3 (Fig. 6)
+``table1``              sensor vs computed temperatures (Table 1)
+``fig8``                VREF(T): measured, S0, S1-S4 (Fig. 8)
+``ablation_sensitivity``   E6/E7/E9 robustness claims
+``ablation_current_ratio`` E8: the A = (kT2/q) ln X magnitude
+``ablation_solver``        netlist vs behavioural cross-check
+======================  =========================================
+
+Use :func:`run_experiment`/:func:`run_all` or ``python -m repro``.
+"""
+
+from .registry import EXPERIMENTS, ExperimentResult, run_all, run_experiment
+from . import (  # noqa: F401  (imports register the runners)
+    fig1_bandgap_models,
+    fig2_bias_principle,
+    fig5_ic_vbe_family,
+    fig6_characteristic_straight,
+    fig8_vref_curves,
+    table1_die_temperature,
+    ablations,
+    sub1v_extension,
+)
+from .report import render_result, render_summary
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all",
+    "render_result",
+    "render_summary",
+]

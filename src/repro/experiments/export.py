@@ -1,0 +1,42 @@
+"""CSV export of experiment results.
+
+Each experiment's regenerated table can be written to a CSV file so the
+series can be re-plotted outside Python (the library ships no plotting
+dependency by design).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict
+
+from ..errors import ReproError
+from .registry import ExperimentResult
+
+
+def write_csv(result: ExperimentResult, directory: str) -> str:
+    """Write one result as ``<directory>/<experiment_id>.csv``.
+
+    Returns the written path.  The header row carries the column names;
+    a trailing comment block records the notes and the check outcomes.
+    """
+    if not os.path.isdir(directory):
+        raise ReproError(f"export directory {directory!r} does not exist")
+    path = os.path.join(directory, f"{result.experiment_id}.csv")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow(row)
+        handle.write(f"# {result.title}\n")
+        if result.notes:
+            handle.write(f"# {result.notes}\n")
+        for name, ok in result.checks.items():
+            handle.write(f"# check {name}: {'PASS' if ok else 'FAIL'}\n")
+    return path
+
+
+def export_all(results: Dict[str, ExperimentResult], directory: str) -> Dict[str, str]:
+    """Write every result; returns experiment id -> path."""
+    return {name: write_csv(result, directory) for name, result in results.items()}

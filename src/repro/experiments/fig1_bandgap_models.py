@@ -1,0 +1,77 @@
+"""Fig. 1: temperature models of the silicon energy band gap.
+
+Regenerates the five EG(T) curves with the paper's coefficient sets over
+0-450 K and checks: the curve ordering, the ~22 meV EG(0) disagreement
+between EG5 and EG2, the extrapolated EG0 sitting above every model, and
+the up-to-~90 meV worst case once bandgap narrowing is included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..physics.bandgap import EG1_REFERENCE_K, paper_models
+from ..physics.narrowing import SI_EMITTER_NARROWING_EV
+from .registry import ExperimentResult, register
+
+#: Fig. 1 x-axis sampling [K].
+FIG1_TEMPS_K = np.arange(0.0, 451.0, 25.0)
+
+
+@register("fig1")
+def run() -> ExperimentResult:
+    models = paper_models()
+    order = ["EG1", "EG2", "EG3", "EG4", "EG5"]
+    rows = []
+    for t in FIG1_TEMPS_K:
+        row = [float(t)]
+        for name in order:
+            if name == "EG1":
+                row.append(float(models[name].eg(t)))
+            else:
+                row.append(float(models[name].eg(t)))
+        rows.append(tuple(row))
+
+    eg0_extrapolated = models["EG5"].extrapolated_eg0(EG1_REFERENCE_K)
+    spread_mev = 1000.0 * (
+        models["EG5"].eg_at_zero() - models["EG2"].eg_at_zero()
+    )
+    # The paper's "up to 90 mV": extrapolated EG0 against the lowest
+    # model's EG(0), plus the silicon emitter narrowing.
+    worst_mev = 1000.0 * (
+        eg0_extrapolated - models["EG2"].eg_at_zero() + SI_EMITTER_NARROWING_EV
+    )
+    at_zero = {name: models[name].eg_at_zero() for name in order}
+
+    checks = {
+        "eg5_minus_eg2_at_zero_about_22mev": 21.0 <= spread_mev <= 23.0,
+        # EG1 is the linearisation itself, so its intercept *is* EG0;
+        # the claim is about the physical models EG2..EG5.
+        "eg0_extrapolation_above_every_model": all(
+            eg0_extrapolated > at_zero[name] for name in ("EG2", "EG3", "EG4", "EG5")
+        ),
+        "eg2_is_lowest_at_room_temperature": min(
+            order, key=lambda n: float(models[n].eg(300.0))
+        )
+        == "EG2",
+        "worst_case_with_narrowing_near_90mev": 70.0 <= worst_mev <= 100.0,
+        "all_curves_inside_fig1_window": all(
+            1.05 < v < 1.23 for row in rows for v in row[1:]
+        ),
+    }
+    notes = (
+        f"EG(0): "
+        + ", ".join(f"{n}={at_zero[n]:.4f} eV" for n in order)
+        + f"; EG0 (linear extrapolation from {EG1_REFERENCE_K:.0f} K) = "
+        f"{eg0_extrapolated:.4f} eV; EG5(0)-EG2(0) = {spread_mev:.1f} meV "
+        f"(paper: ~22 meV); worst case incl. 45 meV narrowing = "
+        f"{worst_mev:.0f} meV (paper: up to ~90 meV)."
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1 — EG(T) model comparison",
+        columns=["T [K]"] + order,
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )

@@ -1,0 +1,87 @@
+"""Fig. 5: the measured IC(VBE) family from -50.88 C to 126.9 C.
+
+Runs the single-BJT Gummel campaign at the paper's eight temperatures
+and checks the family's shape: the current window spans the paper's
+1e-14..1e-2 A decades, curves shift left by ~2 mV/K, and the top decade
+rolls off from series resistance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..measurement.campaign import MeasurementCampaign, PAPER_FIG5_TEMPS_C
+from ..measurement.samples import paper_lot
+from .registry import ExperimentResult, register
+
+
+@register("fig5")
+def run() -> ExperimentResult:
+    sample = paper_lot()[0]
+    campaign = MeasurementCampaign(sample, include_noise=True, seed=5)
+    curves = campaign.measure_gummel_family(points=241)
+
+    rows = []
+    slice_points = {}
+    for curve in curves:
+        positive = curve.ic_a > 0.0
+        ic = curve.ic_a[positive]
+        vbe_at_1ua = _vbe_at(curve, 1e-6)
+        slice_points[curve.nominal_celsius] = vbe_at_1ua
+        rows.append(
+            (
+                curve.nominal_celsius,
+                float(ic.min()),
+                float(ic.max()),
+                curve.decades_spanned(),
+                vbe_at_1ua,
+            )
+        )
+
+    all_ic = np.concatenate([c.ic_a[c.ic_a > 0.0] for c in curves])
+    # Left shift between the extreme temperatures at IC = 1 uA.
+    t_span = PAPER_FIG5_TEMPS_C[-1] - PAPER_FIG5_TEMPS_C[0]
+    shift_mv_per_k = (
+        1000.0
+        * (slice_points[PAPER_FIG5_TEMPS_C[0]] - slice_points[PAPER_FIG5_TEMPS_C[-1]])
+        / t_span
+    )
+    # Series-resistance roll-off: the top of the hottest curve gains less
+    # than an ideal 60 mV/decade slope would predict.
+    hottest = curves[-1]
+    top = hottest.ic_a[-1]
+    ideal_top = hottest.ic_a[-41] * 10.0 ** (
+        (hottest.vbe_v[-1] - hottest.vbe_v[-41]) / 0.0857
+    )
+
+    checks = {
+        "family_spans_paper_decades": bool(all_ic.min() < 1e-13 < 1e-3 < all_ic.max()),
+        "curves_shift_left_about_2mv_per_k": 1.5 <= shift_mv_per_k <= 2.5,
+        "hotter_curves_sit_left": all(
+            slice_points[a] > slice_points[b]
+            for a, b in zip(PAPER_FIG5_TEMPS_C, PAPER_FIG5_TEMPS_C[1:])
+        ),
+        "series_resistance_rolloff_visible": top < 0.5 * ideal_top,
+        "eight_paper_temperatures": len(curves) == 8,
+    }
+    notes = (
+        f"IC window {all_ic.min():.2e}..{all_ic.max():.2e} A "
+        "(paper axis: 1e-14..1e-2 A); left shift "
+        f"{shift_mv_per_k:.2f} mV/K at IC=1 uA."
+    )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5 — IC(VBE) family over temperature",
+        columns=["T [C]", "IC min [A]", "IC max [A]", "decades", "VBE@1uA [V]"],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )
+
+
+def _vbe_at(curve, ic_target: float) -> float:
+    positive = curve.ic_a > 0.0
+    ic = curve.ic_a[positive]
+    vbe = curve.vbe_v[positive]
+    order = np.argsort(ic)
+    return float(np.interp(np.log(ic_target), np.log(ic[order]), vbe[order]))

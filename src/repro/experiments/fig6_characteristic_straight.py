@@ -1,0 +1,97 @@
+"""Fig. 6: the EG(XTI) characteristic straights C1, C2, C3.
+
+* C1 — best fitting of VBE(T) over IC in [1e-8, 1e-5] A (section 5);
+* C2 — the analytical method's line with the *sensor* temperatures;
+* C3 — the analytical method's line with the *computed* temperatures
+  (raw dVBE readout, i.e. before the pad correction).
+
+Checks: C1 and C2 nearly coincide ("gives indication of the equivalence
+between these two methods"), C3 is parallel but clearly displaced, and
+the slopes match the eq. 14 theory (~25 meV per unit XTI for the
+-25/75 C pair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..extraction.characteristic import (
+    characteristic_straight,
+    theoretical_slope,
+)
+from ..extraction.meijer import meijer_line
+from ..extraction.pipeline import (
+    PAPER_FIT_CURRENTS_A,
+    run_analytical_extraction,
+    run_classical_extraction,
+)
+from ..measurement.campaign import MeasurementCampaign
+from ..measurement.samples import paper_lot
+from .registry import ExperimentResult, register
+
+XTI_GRID = np.linspace(0.5, 6.5, 13)
+
+
+@register("fig6")
+def run() -> ExperimentResult:
+    sample = paper_lot()[0]
+    campaign = MeasurementCampaign(sample, include_noise=True, seed=6)
+
+    classical = run_classical_extraction(campaign, currents_a=PAPER_FIT_CURRENTS_A)
+    c1 = classical.straight
+
+    analytical = run_analytical_extraction(campaign)
+    i1, i2, i3 = analytical.point_indices
+    curve = analytical.pair_curve
+    v1, v2, v3 = (float(curve.vbe_a_v[i]) for i in (i1, i2, i3))
+
+    # C2: sensor temperatures; C3: computed (raw) temperatures.  Each
+    # Meijer temperature pair is a line in the (XTI, EG) plane; use the
+    # widest pair (T1, T3) as the paper's plotted straight.
+    t1s, t3s = (float(curve.sensor_temperatures_k[i]) for i in (i1, i3))
+    slope_c2, intercept_c2 = meijer_line(t1s, t3s, v1, v3)
+    t1c = float(analytical.computed_temperatures_k[i1])
+    t3c = float(analytical.computed_temperatures_k[i3])
+    slope_c3, intercept_c3 = meijer_line(t1c, t3c, v1, v3)
+
+    rows = []
+    for xti in XTI_GRID:
+        rows.append(
+            (
+                float(xti),
+                c1.eg_at(float(xti)),
+                intercept_c2 + slope_c2 * float(xti),
+                intercept_c3 + slope_c3 * float(xti),
+            )
+        )
+
+    mid_xti = 3.5
+    c1_mid = c1.eg_at(mid_xti)
+    c2_mid = intercept_c2 + slope_c2 * mid_xti
+    c3_mid = intercept_c3 + slope_c3 * mid_xti
+    theory = theoretical_slope(t1s, t3s)
+
+    checks = {
+        "c1_c2_nearly_coincide": abs(c1_mid - c2_mid) < 5e-3,
+        "c3_clearly_displaced": abs(c3_mid - c2_mid) > 2.0 * abs(c1_mid - c2_mid)
+        and abs(c3_mid - c2_mid) > 5e-3,
+        "straights_roughly_parallel": abs(slope_c3 - slope_c2) < 0.15 * abs(slope_c2),
+        "slope_matches_eq14_theory": abs(abs(slope_c2) - theory) < 0.1 * theory,
+        "eg_window_matches_fig6": all(1.0 < r[1] < 1.3 for r in rows),
+    }
+    notes = (
+        f"EG at XTI={mid_xti}: C1={c1_mid:.4f}, C2={c2_mid:.4f}, "
+        f"C3={c3_mid:.4f} eV; C3-C2 displacement = "
+        f"{1000.0 * (c3_mid - c2_mid):+.1f} meV (computed temperatures are "
+        "compressed by the uncorrected dVBE offset); slopes "
+        f"C1={c1.slope:.4f}, C2={slope_c2:.4f}, C3={slope_c3:.4f} eV/XTI "
+        f"(eq. 14 theory {-theory:.4f})."
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Fig. 6 — characteristic straights C1/C2/C3",
+        columns=["XTI", "EG C1 [eV]", "EG C2 [eV]", "EG C3 [eV]"],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )

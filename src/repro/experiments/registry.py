@@ -1,0 +1,65 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import ReproError
+
+#: Registered experiment runners, keyed by experiment id.
+EXPERIMENTS: Dict[str, Callable[[], "ExperimentResult"]] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """Data regenerated for one paper artefact plus its shape checks.
+
+    ``rows`` are the printable table rows (the same rows/series the
+    paper reports); ``checks`` maps a shape-criterion name to whether it
+    held; ``notes`` carries the paper-vs-measured commentary used by
+    EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values()) if self.checks else True
+
+    def failing_checks(self) -> List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+def register(experiment_id: str):
+    """Decorator adding a runner to the registry."""
+
+    def wrap(func: Callable[[], ExperimentResult]):
+        if experiment_id in EXPERIMENTS:
+            raise ReproError(f"duplicate experiment id {experiment_id!r}")
+        EXPERIMENTS[experiment_id] = func
+        return func
+
+    return wrap
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()
+
+
+def run_all() -> Dict[str, ExperimentResult]:
+    """Run every registered experiment in id order."""
+    return {name: EXPERIMENTS[name]() for name in sorted(EXPERIMENTS)}

@@ -1,0 +1,59 @@
+"""Text rendering of experiment results (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .registry import ExperimentResult
+
+
+def render_result(result: ExperimentResult, max_rows: int = 40) -> str:
+    """Render one experiment as a markdown section."""
+    lines = [f"## {result.title}", ""]
+    widths = [
+        max(len(str(column)), *(len(_fmt(row[i])) for row in result.rows))
+        if result.rows
+        else len(str(column))
+        for i, column in enumerate(result.columns)
+    ]
+    header = " | ".join(
+        str(col).ljust(width) for col, width in zip(result.columns, widths)
+    )
+    lines.append("| " + header + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    shown = result.rows[:max_rows]
+    for row in shown:
+        cells = " | ".join(
+            _fmt(value).ljust(width) for value, width in zip(row, widths)
+        )
+        lines.append("| " + cells + " |")
+    if len(result.rows) > max_rows:
+        lines.append(f"| ... ({len(result.rows) - max_rows} more rows) |")
+    lines.append("")
+    if result.notes:
+        lines.append(result.notes)
+        lines.append("")
+    lines.append("Shape checks:")
+    for name, ok in result.checks.items():
+        lines.append(f"* {'PASS' if ok else 'FAIL'} — {name}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_summary(results: Dict[str, ExperimentResult]) -> str:
+    """One-line-per-experiment pass/fail summary."""
+    lines = ["# Experiment summary", ""]
+    for name in sorted(results):
+        result = results[name]
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"* {status} `{name}` — {result.title}")
+        for failing in result.failing_checks():
+            lines.append(f"    * failing: {failing}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

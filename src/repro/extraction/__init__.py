@@ -1,0 +1,50 @@
+"""Parameter extraction: the paper's two methods side by side.
+
+* Classical best fitting of ``VBE(T)`` at constant collector current
+  (paper eq. 13): :mod:`repro.extraction.vbe_fit`, with the resulting
+  EG(XTI) correlation line in :mod:`repro.extraction.characteristic`;
+* The analytical Meijer method (paper eqs. 14-16 and the current-ratio
+  correction eqs. 17-20): :mod:`repro.extraction.meijer` and
+  :mod:`repro.extraction.temperature`;
+* End-to-end pipelines binding measurement campaigns to extracted model
+  cards: :mod:`repro.extraction.pipeline`.
+"""
+
+from .vbe_model import vbe_characteristic, vbe_reference_terms
+from .vbe_fit import FitResult, fit_vbe_characteristic, fit_vbe_curves
+from .characteristic import CharacteristicStraight, characteristic_straight
+from .meijer import MeijerResult, meijer_extract
+from .temperature import (
+    a_coefficient,
+    computed_temperature,
+    computed_temperatures_for_curve,
+    current_ratio_x,
+)
+from .modelcard import ModelCard
+from .pipeline import (
+    AnalyticalExtraction,
+    ClassicalExtraction,
+    run_analytical_extraction,
+    run_classical_extraction,
+)
+
+__all__ = [
+    "vbe_characteristic",
+    "vbe_reference_terms",
+    "FitResult",
+    "fit_vbe_characteristic",
+    "fit_vbe_curves",
+    "CharacteristicStraight",
+    "characteristic_straight",
+    "MeijerResult",
+    "meijer_extract",
+    "a_coefficient",
+    "computed_temperature",
+    "computed_temperatures_for_curve",
+    "current_ratio_x",
+    "ModelCard",
+    "ClassicalExtraction",
+    "AnalyticalExtraction",
+    "run_classical_extraction",
+    "run_analytical_extraction",
+]

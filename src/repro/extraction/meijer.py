@@ -1,0 +1,108 @@
+"""The analytical extraction (paper eqs. 14-15, after Meijer [13]).
+
+Three measured points ``(T1, VBE(T1)), (T2, VBE(T2)), (T3, VBE(T3))``
+give two exact linear equations in (EG, XTI):
+
+    T2*VBE(T1) - T1*VBE(T2) = EG*(T2 - T1)
+                              - XTI*(k*T1*T2/q)*ln(T1/T2)
+                              + (k*T1*T2/q)*ln(IC(T1)/IC(T2))
+
+and the same with (T3, T2).  Solving the 2x2 system is the whole
+method — no regression, no iteration, and only the *ratios* of the
+collector currents enter (the eqs. 17-18 generalisation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..constants import K_OVER_Q
+from ..errors import ExtractionError
+
+
+@dataclass(frozen=True)
+class MeijerResult:
+    """The analytically extracted couple."""
+
+    eg: float
+    xti: float
+    t1: float
+    t2: float
+    t3: float
+
+    @property
+    def couple(self) -> Tuple[float, float]:
+        return self.eg, self.xti
+
+
+def _pair_equation(
+    t_a: float, t_b: float, vbe_a: float, vbe_b: float,
+    ic_a: Optional[float], ic_b: Optional[float],
+) -> Tuple[float, float, float]:
+    """One row of the system: coefficients (of EG, of XTI) and RHS."""
+    if t_a <= 0.0 or t_b <= 0.0 or t_a == t_b:
+        raise ExtractionError("need distinct positive temperatures")
+    coeff_eg = t_b - t_a
+    coeff_xti = -K_OVER_Q * t_a * t_b * math.log(t_a / t_b)
+    rhs = t_b * vbe_a - t_a * vbe_b
+    if (ic_a is None) != (ic_b is None):
+        raise ExtractionError("provide both currents of a pair, or neither")
+    if ic_a is not None:
+        if ic_a <= 0.0 or ic_b <= 0.0:
+            raise ExtractionError("collector currents must be positive")
+        rhs -= K_OVER_Q * t_a * t_b * math.log(ic_a / ic_b)
+    return coeff_eg, coeff_xti, rhs
+
+
+def meijer_extract(
+    temperatures_k: Tuple[float, float, float],
+    vbe_v: Tuple[float, float, float],
+    currents_a: Optional[Tuple[float, float, float]] = None,
+) -> MeijerResult:
+    """Solve eqs. 14-15 exactly for (EG, XTI).
+
+    ``temperatures_k`` are (T1, T2, T3) with T2 the reference;
+    ``currents_a`` the matching collector currents when the bias was not
+    constant (paper eqs. 17-18).
+    """
+    t1, t2, t3 = (float(t) for t in temperatures_k)
+    v1, v2, v3 = (float(v) for v in vbe_v)
+    if currents_a is None:
+        i1 = i2 = i3 = None
+    else:
+        i1, i2, i3 = (float(i) for i in currents_a)
+    row1 = _pair_equation(t1, t2, v1, v2, i1, i2)
+    row2 = _pair_equation(t3, t2, v3, v2, i3, i2)
+    matrix = np.array([[row1[0], row1[1]], [row2[0], row2[1]]])
+    rhs = np.array([row1[2], row2[2]])
+    det = float(np.linalg.det(matrix))
+    if abs(det) < 1e-12:
+        raise ExtractionError(
+            "singular Meijer system: the three temperatures do not separate "
+            "EG from XTI (too close together?)"
+        )
+    eg, xti = np.linalg.solve(matrix, rhs)
+    return MeijerResult(eg=float(eg), xti=float(xti), t1=t1, t2=t2, t3=t3)
+
+
+def meijer_line(
+    t_a: float,
+    t_b: float,
+    vbe_a: float,
+    vbe_b: float,
+    ic_a: Optional[float] = None,
+    ic_b: Optional[float] = None,
+) -> Tuple[float, float]:
+    """One Meijer equation as an EG(XTI) line: ``(slope, intercept)``.
+
+    A single temperature pair constrains the couple to a line in the
+    (XTI, EG) plane — this is how the analytical method draws its own
+    "characteristic straight" in the paper's Fig. 6 (curves C2/C3); the
+    full solve intersects two such lines.
+    """
+    coeff_eg, coeff_xti, rhs = _pair_equation(t_a, t_b, vbe_a, vbe_b, ic_a, ic_b)
+    return -coeff_xti / coeff_eg, rhs / coeff_eg

@@ -1,0 +1,63 @@
+"""SPICE model-card round trip for extracted couples.
+
+The end product of either extraction method is a ``.MODEL`` card whose
+``EG``/``XTI`` entries carry the extracted couple — the artefact the
+designer drops into the simulator to get curve (S1) instead of (S0) in
+the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..bjt.parameters import BJTParameters, PAPER_PNP_SMALL
+from ..errors import ExtractionError
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """A named (EG, XTI) couple bound to a base device."""
+
+    eg: float
+    xti: float
+    base: BJTParameters = PAPER_PNP_SMALL
+    name: str = "QEXTRACTED"
+    source: str = ""
+
+    def parameters(self) -> BJTParameters:
+        """The full parameter set with the extracted couple installed."""
+        return replace(self.base, eg=self.eg, xti=self.xti, name=self.name)
+
+    def render(self) -> str:
+        """The ``.MODEL`` line."""
+        return self.parameters().model_card()
+
+    @property
+    def couple(self) -> Tuple[float, float]:
+        return self.eg, self.xti
+
+
+_MODEL_RE = re.compile(
+    r"\.MODEL\s+(?P<name>\S+)\s+(?P<kind>NPN|PNP)\s*\((?P<body>[^)]*)\)",
+    re.IGNORECASE,
+)
+
+
+def parse_model_card(text: str, base: BJTParameters = PAPER_PNP_SMALL) -> ModelCard:
+    """Read the (EG, XTI) couple back from a ``.MODEL`` line."""
+    match = _MODEL_RE.search(text)
+    if match is None:
+        raise ExtractionError("no .MODEL statement found")
+    fields = {}
+    for token in match.group("body").split():
+        if "=" not in token:
+            raise ExtractionError(f"malformed model parameter {token!r}")
+        key, _, value = token.partition("=")
+        fields[key.upper()] = float(value)
+    if "EG" not in fields or "XTI" not in fields:
+        raise ExtractionError("model card lacks EG/XTI")
+    return ModelCard(
+        eg=fields["EG"], xti=fields["XTI"], base=base, name=match.group("name")
+    )

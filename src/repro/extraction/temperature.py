@@ -1,0 +1,101 @@
+"""Die-temperature computation from dVBE ratios (paper eqs. 16, 19-20).
+
+The pair's ``dVBE`` is PTAT, so with the reference point ``T2``
+measured externally once,
+
+    T1 = T2 * dVBE(T1) / dVBE(T2)                      (eq. 16)
+
+gives the *die* temperature at every other chamber point.  When the
+two collector currents drift differently with temperature the corrected
+form (eq. 19) divides by ``1 + (k*T2/q) * ln(X) / dVBE(T2)`` with the
+ratio product ``X`` of eq. 20; the paper evaluates the correction
+``A = (k*T2/q) ln X ~ 0.3 mV`` (0.45 % of dVBE) and concludes it is
+weak — :func:`a_coefficient` reproduces that number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..constants import thermal_voltage
+from ..errors import ExtractionError
+from ..measurement.dataset import DeltaVbeCurve
+
+
+def current_ratio_x(
+    ic_a_t1: float, ic_b_t1: float, ic_a_t2: float, ic_b_t2: float
+) -> float:
+    """Paper eq. 20: ``X = (IC1(T1) * IC2(T2)) / (IC1(T2) * IC2(T1))``.
+
+    Branch 1 is QA, branch 2 is QB; ``X = 1`` whenever the branch
+    currents track each other over temperature (even if unequal).
+    """
+    for value in (ic_a_t1, ic_b_t1, ic_a_t2, ic_b_t2):
+        if value <= 0.0:
+            raise ExtractionError("collector currents must be positive")
+    return (ic_a_t1 * ic_b_t2) / (ic_a_t2 * ic_b_t1)
+
+
+def a_coefficient(reference_k: float, x: float) -> float:
+    """The correction voltage ``A = (k*T2/q) * ln X`` [V]."""
+    if x <= 0.0:
+        raise ExtractionError("X must be positive")
+    return thermal_voltage(reference_k) * math.log(x)
+
+
+def computed_temperature(
+    delta_vbe: float,
+    delta_vbe_ref: float,
+    reference_k: float,
+    x: float = 1.0,
+) -> float:
+    """Die temperature from a dVBE ratio (eq. 16; eq. 19 when x != 1).
+
+    Parameters
+    ----------
+    delta_vbe:
+        dVBE measured at the unknown temperature [V].
+    delta_vbe_ref:
+        dVBE measured at the reference temperature [V].
+    reference_k:
+        The one externally measured temperature T2 [K].
+    x:
+        The eq. 20 current-ratio product between the unknown point and
+        the reference (1.0 = ideal equal-current bias).
+    """
+    if delta_vbe_ref <= 0.0 or delta_vbe <= 0.0:
+        raise ExtractionError("dVBE readings must be positive")
+    if reference_k <= 0.0:
+        raise ExtractionError("reference temperature must be positive")
+    denominator = delta_vbe_ref * (1.0 + a_coefficient(reference_k, x) / delta_vbe_ref)
+    return reference_k * delta_vbe / denominator
+
+
+def computed_temperatures_for_curve(
+    curve: DeltaVbeCurve,
+    reference_k: float = 297.0,
+    x_values: Sequence[float] = None,
+) -> np.ndarray:
+    """Computed die temperatures for every point of a pair dataset [K].
+
+    The reference dVBE is taken at the point whose *sensor* reading is
+    closest to ``reference_k`` — exactly how the paper anchors at
+    T2 = 25 C and computes T1 and T3 from eq. 16.
+    """
+    ref_index = curve.nearest_index(reference_k)
+    delta_ref = float(curve.delta_vbe_v[ref_index])
+    t_ref = float(curve.sensor_temperatures_k[ref_index])
+    if x_values is None:
+        x_values = np.ones(curve.delta_vbe_v.shape[0])
+    x_values = np.asarray(x_values, float)
+    if x_values.shape != curve.delta_vbe_v.shape:
+        raise ExtractionError("x array must match the curve")
+    return np.array(
+        [
+            computed_temperature(float(d), delta_ref, t_ref, x=float(x))
+            for d, x in zip(curve.delta_vbe_v, x_values)
+        ]
+    )

@@ -1,0 +1,167 @@
+"""Classical extraction: least-squares fit of VBE(T) (paper eq. 13).
+
+"If VAR and VBE(T0) are known, EG and XTI can be determined directly
+from VBE(T) using least square fit without iteration" — the model is
+linear in the couple, so the fit is one ``lstsq`` call.  The returned
+covariance makes the EG-XTI correlation quantitative: its correlation
+coefficient sits above 0.99 for any realistic temperature range, which
+is the algebraic face of the paper's "infinite number of EG and XTI
+couples".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..constants import thermal_voltage
+from ..errors import ExtractionError
+from ..measurement.dataset import VbeTemperatureCurve
+from .vbe_model import vbe_characteristic, vbe_reference_terms
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a classical VBE(T) fit."""
+
+    eg: float
+    xti: float
+    reference_k: float
+    vbe_ref: float
+    residual_rms_v: float
+    covariance: np.ndarray
+
+    @property
+    def correlation(self) -> float:
+        """EG-XTI correlation coefficient (|rho| ~ 1: inseparable)."""
+        cov = self.covariance
+        denom = np.sqrt(cov[0, 0] * cov[1, 1])
+        if denom == 0.0:
+            return 0.0
+        return float(cov[0, 1] / denom)
+
+    def confidence_ellipse(self, n_sigma: float = 1.0):
+        """The (EG, XTI) confidence ellipse: ``(width, height, angle_rad)``.
+
+        Principal-axis lengths (full widths, ``2 * n_sigma * sqrt(eig)``)
+        and the rotation of the major axis from the EG axis.  For any
+        realistic temperature range the ellipse is a sliver — its aspect
+        ratio is the geometric face of the paper's "characteristic
+        straight" (the major axis *is* the straight, locally).
+        """
+        if n_sigma <= 0.0:
+            raise ExtractionError("n_sigma must be positive")
+        eigenvalues, eigenvectors = np.linalg.eigh(self.covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = eigenvalues[order]
+        major = eigenvectors[:, order[0]]
+        width = 2.0 * n_sigma * float(np.sqrt(max(eigenvalues[0], 0.0)))
+        height = 2.0 * n_sigma * float(np.sqrt(max(eigenvalues[1], 0.0)))
+        angle = float(np.arctan2(major[1], major[0]))
+        return width, height, angle
+
+    def predict(self, temperature_k: float, ic=None, ic_ref=None) -> float:
+        """Model VBE at a temperature using the fitted couple [V]."""
+        return vbe_characteristic(
+            temperature_k,
+            self.eg,
+            self.xti,
+            vbe_ref=self.vbe_ref,
+            reference_k=self.reference_k,
+            ic=ic,
+            ic_ref=ic_ref,
+        )
+
+
+def _design_rows(temps, vbes, currents, reference_index):
+    t0 = temps[reference_index]
+    v0 = vbes[reference_index]
+    i0 = None if currents is None else currents[reference_index]
+    rows, targets = [], []
+    for i, (t, v) in enumerate(zip(temps, vbes)):
+        if i == reference_index:
+            continue
+        a, b = vbe_reference_terms(t, t0)
+        y = v - (t / t0) * v0
+        if currents is not None:
+            y -= thermal_voltage(t) * np.log(currents[i] / i0)
+        rows.append((a, b))
+        targets.append(y)
+    return np.array(rows), np.array(targets), t0, v0
+
+
+def fit_vbe_characteristic(
+    temperatures_k: Sequence[float],
+    vbe_v: Sequence[float],
+    ic: float = None,
+    reference_k: float = None,
+    currents_a: Sequence[float] = None,
+) -> FitResult:
+    """Fit (EG, XTI) to one VBE(T) characteristic.
+
+    Parameters
+    ----------
+    ic:
+        Constant collector current (informational; the constant-current
+        fit does not need its value).
+    reference_k:
+        Anchor temperature; defaults to the point closest to 298 K, as
+        the paper anchors at T2 = 25 C.
+    currents_a:
+        Per-point collector currents when the bias was not constant.
+    """
+    temps = np.asarray(temperatures_k, dtype=float)
+    vbes = np.asarray(vbe_v, dtype=float)
+    if temps.shape != vbes.shape:
+        raise ExtractionError("temperature and VBE arrays must match")
+    if temps.size < 3:
+        raise ExtractionError("need at least three points to fit two parameters")
+    if np.any(temps <= 0.0):
+        raise ExtractionError("temperatures must be positive")
+    currents = None if currents_a is None else np.asarray(currents_a, dtype=float)
+    if currents is not None and currents.shape != temps.shape:
+        raise ExtractionError("current array must match the temperatures")
+
+    if reference_k is None:
+        reference_index = int(np.argmin(np.abs(temps - 298.15)))
+    else:
+        reference_index = int(np.argmin(np.abs(temps - reference_k)))
+    design, target, t0, v0 = _design_rows(temps, vbes, currents, reference_index)
+
+    solution, residuals, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < 2:
+        raise ExtractionError("degenerate fit: temperatures do not separate EG/XTI")
+    eg, xti = float(solution[0]), float(solution[1])
+    predicted = design @ solution
+    residual = target - predicted
+    dof = max(len(target) - 2, 1)
+    sigma_sq = float(residual @ residual) / dof
+    covariance = sigma_sq * np.linalg.inv(design.T @ design)
+    return FitResult(
+        eg=eg,
+        xti=xti,
+        reference_k=t0,
+        vbe_ref=v0,
+        residual_rms_v=float(np.sqrt(np.mean(residual**2))),
+        covariance=covariance,
+    )
+
+
+def fit_vbe_curves(
+    curves: List[VbeTemperatureCurve],
+    reference_k: float = None,
+) -> List[FitResult]:
+    """Fit each constant-current curve of a measured set."""
+    if not curves:
+        raise ExtractionError("no curves to fit")
+    return [
+        fit_vbe_characteristic(
+            curve.temperatures_k,
+            curve.vbe_v,
+            ic=curve.collector_current_a,
+            reference_k=reference_k,
+        )
+        for curve in curves
+    ]

@@ -1,0 +1,102 @@
+"""The VBE(T) forward model of paper eq. 13.
+
+Starting from ``IC = IS(T) * exp(VBE/VT)`` and the SPICE law (eq. 1),
+the base-emitter voltage at temperature ``T`` referred to a measured
+point ``(T0, VBE(T0))`` is
+
+    VBE(T) = (T/T0) * VBE(T0)
+           + EG * (1 - T/T0)
+           - XTI * VT(T) * ln(T/T0)
+           + VT(T) * ln(IC(T)/IC(T0))
+
+(the constant-current case drops the last term).  Paper eq. 13 applies a
+further reverse-Early (``VAR``) correction — in the Gummel-Poon model
+the base charge multiplies ``IS`` by ``(1 - VBE/VAR)``, so the measured
+``VBE`` satisfies a mildly implicit equation that
+:func:`vbe_characteristic` solves by fixed point when ``var`` is given.
+
+The model is *linear in (EG, XTI)* given the reference point, which is
+what makes the classical extraction a plain least-squares problem — and
+what makes EG and XTI inseparable: over a finite temperature range the
+two basis functions ``(1 - T/T0)`` and ``-VT(T) ln(T/T0)`` are nearly
+collinear (both vanish at T0 with proportional slopes), producing the
+paper's "characteristic straight" of equivalent couples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..constants import thermal_voltage
+from ..errors import ExtractionError
+
+
+def vbe_reference_terms(
+    temperature_k: float, reference_k: float
+) -> Tuple[float, float]:
+    """The (EG, XTI) basis functions ``a(T), b(T)`` at one temperature.
+
+    ``VBE(T) - (T/T0) VBE(T0) - VT ln(IC/IC0) = EG * a(T) + XTI * b(T)``
+    with ``a = 1 - T/T0`` and ``b = -VT(T) ln(T/T0)``.
+    """
+    if temperature_k <= 0.0 or reference_k <= 0.0:
+        raise ExtractionError("temperatures must be positive")
+    a = 1.0 - temperature_k / reference_k
+    b = -thermal_voltage(temperature_k) * math.log(temperature_k / reference_k)
+    return a, b
+
+
+def vbe_characteristic(
+    temperature_k: float,
+    eg: float,
+    xti: float,
+    vbe_ref: float,
+    reference_k: float,
+    ic: float = None,
+    ic_ref: float = None,
+    var: float = None,
+    max_iterations: int = 40,
+) -> float:
+    """Evaluate paper eq. 13 at one temperature [V].
+
+    Parameters
+    ----------
+    eg, xti:
+        The SPICE couple under evaluation.
+    vbe_ref, reference_k:
+        The measured anchor point ``(T0, VBE(T0))``.
+    ic, ic_ref:
+        Collector currents at ``T`` and ``T0``; both None means constant
+        current (the term drops).
+    var:
+        Reverse Early voltage for the eq. 13 correction; None disables.
+    """
+    a, b = vbe_reference_terms(temperature_k, reference_k)
+    base = (temperature_k / reference_k) * vbe_ref + eg * a + xti * b
+    if (ic is None) != (ic_ref is None):
+        raise ExtractionError("provide both ic and ic_ref, or neither")
+    if ic is not None:
+        if ic <= 0.0 or ic_ref <= 0.0:
+            raise ExtractionError("collector currents must be positive")
+        base += thermal_voltage(temperature_k) * math.log(ic / ic_ref)
+    if var is None:
+        return base
+    if var <= 0.0:
+        raise ExtractionError("VAR must be positive")
+    # (1 - VBE/VAR) multiplies IS; referred to the anchor the correction
+    # is +VT ln[(1 - VBE/VAR)/(1 - VBE0/VAR)], solved by fixed point.
+    vt = thermal_voltage(temperature_k)
+    ref_factor = 1.0 - vbe_ref / var
+    if ref_factor <= 0.0:
+        raise ExtractionError("anchor VBE exceeds VAR")
+    vbe = base
+    for _ in range(max_iterations):
+        factor = 1.0 - vbe / var
+        if factor <= 0.0:
+            raise ExtractionError("VBE exceeded VAR during iteration")
+        updated = base + vt * math.log(factor / ref_factor)
+        if abs(updated - vbe) < 1e-15:
+            return updated
+        vbe = updated
+    raise ExtractionError("eq. 13 VAR correction did not converge")

@@ -1,0 +1,38 @@
+"""Simulated measurement laboratory.
+
+The paper's experimental setup — an HP4156 parameter analyser, an
+HP34970A logger with a 4-wire pt100 probe, a thermal chamber, and five
+samples of the test chip from a diffusion lot — is reproduced here as a
+set of simulation components:
+
+* :mod:`repro.measurement.instruments` — instrument models with ranges,
+  resolution and noise;
+* :mod:`repro.measurement.thermal` — the chamber and the die
+  self-heating model (the physical cause of Table 1);
+* :mod:`repro.measurement.samples` — per-sample process spread and
+  non-idealities;
+* :mod:`repro.measurement.campaign` — the measurement campaigns that
+  produce every dataset the extraction methods consume;
+* :mod:`repro.measurement.dataset` — curve containers with CSV I/O.
+"""
+
+from .instruments import InstrumentSettings, ParameterAnalyzer, TemperatureLogger
+from .thermal import SelfHeatingModel, ThermalChamber
+from .samples import DeviceSample, ProcessSpread, paper_lot
+from .campaign import MeasurementCampaign
+from .dataset import DeltaVbeCurve, GummelCurve, VbeTemperatureCurve
+
+__all__ = [
+    "InstrumentSettings",
+    "ParameterAnalyzer",
+    "TemperatureLogger",
+    "SelfHeatingModel",
+    "ThermalChamber",
+    "DeviceSample",
+    "ProcessSpread",
+    "paper_lot",
+    "MeasurementCampaign",
+    "VbeTemperatureCurve",
+    "DeltaVbeCurve",
+    "GummelCurve",
+]

@@ -1,0 +1,236 @@
+"""Measurement campaigns: the scripted lab sessions of the paper.
+
+Three campaigns cover every dataset the evaluation needs:
+
+* :meth:`MeasurementCampaign.measure_gummel_family` — the Fig. 5 family:
+  full IC(VBE) sweeps of a single BJT across the temperature range;
+* :meth:`MeasurementCampaign.measure_vbe_curve` — VBE(T) at constant
+  collector current (the classical method's input, eq. 13);
+* :meth:`MeasurementCampaign.measure_pair` — dVBE(T) and VBE_A(T) on
+  the biased test cell (the analytical method's input, eqs. 14-16),
+  with the chip self-heating and the pad offset in the loop.
+
+Nominal temperatures are *chamber set points*; what the datasets record
+as temperature is the pt100 **sensor reading**, while the device physics
+is evaluated at the hidden **die temperature** — reproducing exactly the
+epistemic situation of the paper's lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..bjt.gummel_plot import gummel_sweep
+from ..bjt.model import GummelPoonModel
+from ..errors import MeasurementError
+from ..units import celsius_to_kelvin
+from .dataset import DeltaVbeCurve, GummelCurve, VbeTemperatureCurve
+from .instruments import InstrumentSettings, ParameterAnalyzer, TemperatureLogger
+from .samples import DeviceSample
+
+#: The eight nominal temperatures of the paper's Fig. 5 [C].
+PAPER_FIG5_TEMPS_C = (-50.88, -25.47, -0.07, 27.36, 50.74, 76.13, 101.6, 126.9)
+
+#: The -50..125 C step-25 sweep of the paper's section 5 [C].
+PAPER_SWEEP_TEMPS_C = (-50.0, -25.0, 0.0, 25.0, 50.0, 75.0, 100.0, 125.0)
+
+
+@dataclass
+class MeasurementCampaign:
+    """A lab session bound to one chip sample."""
+
+    sample: DeviceSample
+    settings: InstrumentSettings = field(default_factory=InstrumentSettings)
+    seed: int = 0
+    include_noise: bool = True
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        settings = self.settings
+        if not self.include_noise:
+            settings = InstrumentSettings(
+                voltage_noise_rms=0.0,
+                voltage_resolution=0.0,
+                voltage_range=self.settings.voltage_range,
+                current_noise_rel=0.0,
+                current_floor=0.0,
+                temperature_noise_rms=0.0,
+            )
+        self.analyzer = ParameterAnalyzer(settings, rng=rng)
+        self.logger = TemperatureLogger(
+            calibration_offset_k=self.sample.sensor_offset_k,
+            settings=settings,
+            rng=rng,
+        )
+        self._heating = self.sample.self_heating()
+
+    # ------------------------------------------------------------------
+    # Temperature bookkeeping
+    # ------------------------------------------------------------------
+    def die_temperature(self, chamber_k: float, powered: bool = True) -> float:
+        """The hidden die temperature for a chamber set point [K]."""
+        if not powered:
+            return chamber_k
+        return self._heating.die_temperature(chamber_k)
+
+    def sensor_reading(self, chamber_k: float) -> float:
+        """What the pt100 reports for a chamber set point [K]."""
+        return self.logger.read(chamber_k)
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    def measure_gummel_family(
+        self,
+        temps_c: Sequence[float] = PAPER_FIG5_TEMPS_C,
+        vbe_start: float = 0.1,
+        vbe_stop: float = 1.3,
+        points: int = 121,
+    ) -> List[GummelCurve]:
+        """Fig. 5: IC(VBE) of a standalone single BJT per temperature.
+
+        The standalone device is unpowered between points and driven at
+        duty cycles that keep self-heating negligible, so the die runs at
+        the chamber temperature (the paper's single-transistor method —
+        whose blindness to in-circuit effects is its very weakness).
+        """
+        model = GummelPoonModel(self.sample.bjt_params())
+        curves = []
+        for temp_c in temps_c:
+            die_k = celsius_to_kelvin(temp_c)
+            sweep = gummel_sweep(model, die_k, vbe_start, vbe_stop, points)
+            ic = np.array([self.analyzer.read_current(i) for i in sweep.ic])
+            curves.append(
+                GummelCurve(nominal_celsius=temp_c, vbe_v=sweep.vbe.copy(), ic_a=ic)
+            )
+        return curves
+
+    def measure_vbe_curve(
+        self,
+        collector_current_a: float,
+        temps_c: Sequence[float] = PAPER_SWEEP_TEMPS_C,
+        averaged: int = 16,
+    ) -> VbeTemperatureCurve:
+        """VBE(T) of the single BJT at constant IC (eq. 13 input).
+
+        Recorded temperatures are pt100 readings; the junction physics is
+        evaluated at the chamber temperature (standalone device, see
+        :meth:`measure_gummel_family`).
+        """
+        if collector_current_a <= 0.0:
+            raise MeasurementError("collector current must be positive")
+        model = GummelPoonModel(self.sample.bjt_params())
+        sensor, vbe = [], []
+        for temp_c in temps_c:
+            chamber_k = celsius_to_kelvin(temp_c)
+            true_vbe = model.vbe_for_ic(collector_current_a, chamber_k)
+            vbe.append(self.analyzer.read_voltage_averaged(true_vbe, averaged))
+            sensor.append(self.sensor_reading(chamber_k))
+        return VbeTemperatureCurve(
+            collector_current_a=collector_current_a,
+            temperatures_k=np.array(sensor),
+            vbe_v=np.array(vbe),
+            label=self.sample.name,
+        )
+
+    def measure_pair(
+        self,
+        temps_c: Sequence[float] = PAPER_SWEEP_TEMPS_C,
+        vce_headroom: float = 0.05,
+        averaged: int = 16,
+        correct_offset: bool = False,
+    ) -> DeltaVbeCurve:
+        """dVBE(T) and VBE_A(T) on the biased test cell (eqs. 14-16 input).
+
+        The cell is powered, so the junctions run at the *die*
+        temperature (chamber + self-heating); the pad readout adds the
+        sample's dVBE offset; the QB/QA current ratio drifts with
+        temperature per the sample.  This is the dataset from which the
+        analytical method computes the die temperatures.
+
+        ``correct_offset=True`` applies the P4/P5 pad correction
+        procedure of the paper's section 4 (the pads exist "to correct
+        this effect and the offset of the amplification stage"), leaving
+        only the sample's ``pad_correction_residual`` fraction of the
+        dVBE offset in the reading.  Table 1 is generated from the
+        *uncorrected* data; the final model card from the corrected one.
+        """
+        pair = self.sample.matched_pair()
+        ratio_law = self.sample.current_ratio_law()
+        bias = self.sample.bias_current_a
+        offset = self.sample.delta_vbe_offset_v
+        if correct_offset:
+            offset *= self.sample.pad_correction_residual
+        sensor, dvbe, vbe_a, ic_a, ic_b = [], [], [], [], []
+        for temp_c in temps_c:
+            chamber_k = celsius_to_kelvin(temp_c)
+            die_k = self.die_temperature(chamber_k)
+            ia = bias
+            ib = bias * ratio_law(die_k)
+            true_dvbe = pair.delta_vbe(
+                die_k, ia, current_b=ib, vce_headroom=vce_headroom
+            )
+            leak_a = (
+                pair.substrate_a.leakage_current(die_k, vce_headroom)
+                if pair.substrate_a is not None
+                else 0.0
+            )
+            true_vbe_a = pair.qa.vbe_for_ic(max(ia - leak_a, 1e-12), die_k)
+            dvbe.append(
+                self.analyzer.read_voltage_averaged(true_dvbe + offset, averaged)
+            )
+            vbe_a.append(self.analyzer.read_voltage_averaged(true_vbe_a, averaged))
+            ic_a.append(self.analyzer.read_current(ia))
+            ic_b.append(self.analyzer.read_current(ib))
+            sensor.append(self.sensor_reading(chamber_k))
+        return DeltaVbeCurve(
+            sensor_temperatures_k=np.array(sensor),
+            delta_vbe_v=np.array(dvbe),
+            vbe_a_v=np.array(vbe_a),
+            ic_a_a=np.array(ic_a),
+            ic_b_a=np.array(ic_b),
+            label=self.sample.name,
+        )
+
+    def slice_vbe_curves(
+        self,
+        curves: List[GummelCurve],
+        collector_currents_a: Sequence[float],
+    ) -> List[VbeTemperatureCurve]:
+        """Constant-current VBE(T) characteristics sliced from Fig. 5 data.
+
+        This is how the paper's best-fitting method consumes the measured
+        family: "Several VBE(T) characteristics at a fixed collector
+        current can be extracted from this set."
+        """
+        results = []
+        for ic in collector_currents_a:
+            temps, vbes = [], []
+            for curve in curves:
+                positive = curve.ic_a > 0.0
+                ic_arr = curve.ic_a[positive]
+                vbe_arr = curve.vbe_v[positive]
+                order = np.argsort(ic_arr)
+                ic_sorted = ic_arr[order]
+                if not ic_sorted[0] <= ic <= ic_sorted[-1]:
+                    continue
+                vbe = float(
+                    np.interp(np.log(ic), np.log(ic_sorted), vbe_arr[order])
+                )
+                temps.append(celsius_to_kelvin(curve.nominal_celsius))
+                vbes.append(vbe)
+            if len(temps) >= 3:
+                results.append(
+                    VbeTemperatureCurve(
+                        collector_current_a=ic,
+                        temperatures_k=np.array(temps),
+                        vbe_v=np.array(vbes),
+                        label=f"{self.sample.name} sliced",
+                    )
+                )
+        if not results:
+            raise MeasurementError("no requested current is covered by the family")
+        return results

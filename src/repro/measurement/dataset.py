@@ -1,0 +1,152 @@
+"""Measured-curve containers with CSV round-trip.
+
+Thin, typed wrappers around numpy arrays so campaign outputs carry their
+measurement conditions with them (bias current, nominal temperatures,
+which instrument temperatures were *sensor* readings vs chamber set
+points).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+
+@dataclass
+class VbeTemperatureCurve:
+    """VBE(T) at a fixed collector current — the eq. 13 fit's input."""
+
+    collector_current_a: float
+    temperatures_k: np.ndarray
+    vbe_v: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.temperatures_k = np.asarray(self.temperatures_k, dtype=float)
+        self.vbe_v = np.asarray(self.vbe_v, dtype=float)
+        if self.temperatures_k.shape != self.vbe_v.shape:
+            raise MeasurementError("temperature and VBE arrays must match")
+        if self.temperatures_k.size < 2:
+            raise MeasurementError("a VBE(T) curve needs at least two points")
+        if self.collector_current_a <= 0.0:
+            raise MeasurementError("collector current must be positive")
+
+    def vbe_at(self, temperature_k: float) -> float:
+        """Linear interpolation of VBE at a temperature [V]."""
+        order = np.argsort(self.temperatures_k)
+        return float(
+            np.interp(temperature_k, self.temperatures_k[order], self.vbe_v[order])
+        )
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(f"# VBE(T) at IC={self.collector_current_a:g} A {self.label}\n")
+        out.write("temperature_k,vbe_v\n")
+        for t, v in zip(self.temperatures_k, self.vbe_v):
+            out.write(f"{t:.6f},{v:.9f}\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, collector_current_a: float = None) -> "VbeTemperatureCurve":
+        ic = collector_current_a
+        temps, vbes = [], []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "IC=" in line and ic is None:
+                    ic = float(line.split("IC=")[1].split()[0].rstrip("A"))
+                continue
+            if line.startswith("temperature_k"):
+                continue
+            t, v = line.split(",")
+            temps.append(float(t))
+            vbes.append(float(v))
+        if ic is None:
+            raise MeasurementError("collector current not found in CSV header")
+        return cls(collector_current_a=ic, temperatures_k=np.array(temps),
+                   vbe_v=np.array(vbes))
+
+
+@dataclass
+class DeltaVbeCurve:
+    """dVBE(T) of the biased pair plus the companion sensor readings.
+
+    ``ic_a_a``/``ic_b_a`` hold the measured collector currents of the
+    two branches when the campaign recorded them — the inputs of the
+    paper's eqs. 19-20 current-ratio correction.
+    """
+
+    sensor_temperatures_k: np.ndarray
+    delta_vbe_v: np.ndarray
+    vbe_a_v: np.ndarray
+    ic_a_a: np.ndarray = None
+    ic_b_a: np.ndarray = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.sensor_temperatures_k = np.asarray(self.sensor_temperatures_k, float)
+        self.delta_vbe_v = np.asarray(self.delta_vbe_v, float)
+        self.vbe_a_v = np.asarray(self.vbe_a_v, float)
+        shapes = {
+            self.sensor_temperatures_k.shape,
+            self.delta_vbe_v.shape,
+            self.vbe_a_v.shape,
+        }
+        for name in ("ic_a_a", "ic_b_a"):
+            value = getattr(self, name)
+            if value is not None:
+                value = np.asarray(value, float)
+                setattr(self, name, value)
+                shapes.add(value.shape)
+        if len(shapes) != 1:
+            raise MeasurementError("curve arrays must share a shape")
+
+    @property
+    def has_currents(self) -> bool:
+        return self.ic_a_a is not None and self.ic_b_a is not None
+
+    def current_ratio_x_values(self, reference_index: int) -> np.ndarray:
+        """Paper eq. 20 per point against a reference point.
+
+        ``X_i = (IC_A(T_i) * IC_B(T_ref)) / (IC_A(T_ref) * IC_B(T_i))``.
+        """
+        if not self.has_currents:
+            raise MeasurementError("curve carries no branch-current readings")
+        ia_ref = float(self.ic_a_a[reference_index])
+        ib_ref = float(self.ic_b_a[reference_index])
+        if ia_ref <= 0.0 or ib_ref <= 0.0:
+            raise MeasurementError("reference currents must be positive")
+        return (self.ic_a_a * ib_ref) / (ia_ref * self.ic_b_a)
+
+    def nearest_index(self, temperature_k: float) -> int:
+        """Index of the point whose sensor reading is closest."""
+        return int(np.argmin(np.abs(self.sensor_temperatures_k - temperature_k)))
+
+
+@dataclass
+class GummelCurve:
+    """One measured IC(VBE) curve at a nominal temperature (Fig. 5)."""
+
+    nominal_celsius: float
+    vbe_v: np.ndarray
+    ic_a: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vbe_v = np.asarray(self.vbe_v, float)
+        self.ic_a = np.asarray(self.ic_a, float)
+        if self.vbe_v.shape != self.ic_a.shape:
+            raise MeasurementError("VBE and IC arrays must match")
+
+    def decades_spanned(self) -> float:
+        """log10(max/min) of the positive currents."""
+        positive = self.ic_a[self.ic_a > 0.0]
+        if positive.size < 2:
+            return 0.0
+        return float(np.log10(positive.max() / positive.min()))

@@ -1,0 +1,130 @@
+"""Instrument models.
+
+:class:`ParameterAnalyzer` stands in for the paper's HP4156: it forces
+currents/voltages and measures with finite resolution and Gaussian noise.
+:class:`TemperatureLogger` stands in for the HP34970A + 4-wire pt100
+probe ("precision less than 1 C"): it reads the *package/component*
+temperature with a per-setup calibration offset — crucially NOT the die
+temperature, which is the whole point of the paper's method.
+
+All randomness flows through a caller-supplied ``numpy.random.Generator``
+so campaigns are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class InstrumentSettings:
+    """Accuracy knobs of the simulated analyser/logger.
+
+    Defaults approximate the HP4156 in its medium integration mode and a
+    calibrated pt100 chain.
+    """
+
+    #: rms additive noise on voltage readings [V].
+    voltage_noise_rms: float = 10e-6
+    #: Quantisation step of voltage readings [V].
+    voltage_resolution: float = 2e-6
+    #: Full-scale voltage range [V].
+    voltage_range: float = 20.0
+    #: Relative rms noise on current readings.
+    current_noise_rel: float = 2e-4
+    #: Smallest measurable current [A] (noise floor).
+    current_floor: float = 2e-14
+    #: rms noise on temperature readings [K].
+    temperature_noise_rms: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.voltage_noise_rms < 0 or self.voltage_resolution < 0:
+            raise MeasurementError("noise/resolution must be non-negative")
+        if self.voltage_range <= 0:
+            raise MeasurementError("voltage range must be positive")
+
+
+class ParameterAnalyzer:
+    """Simulated SMU: reads back voltages/currents with realistic errors."""
+
+    def __init__(self, settings: InstrumentSettings = InstrumentSettings(),
+                 rng: np.random.Generator = None):
+        self.settings = settings
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def read_voltage(self, true_volts: float) -> float:
+        """One voltage reading: range check, noise, quantisation."""
+        s = self.settings
+        if abs(true_volts) > s.voltage_range:
+            raise MeasurementError(
+                f"voltage {true_volts:.3f} V exceeds the {s.voltage_range} V range"
+            )
+        noisy = true_volts + self.rng.normal(0.0, s.voltage_noise_rms)
+        if s.voltage_resolution > 0:
+            noisy = round(noisy / s.voltage_resolution) * s.voltage_resolution
+        return noisy
+
+    def read_current(self, true_amps: float) -> float:
+        """One current reading: relative noise plus the floor noise."""
+        s = self.settings
+        noise = self.rng.normal(0.0, abs(true_amps) * s.current_noise_rel)
+        floor = self.rng.normal(0.0, s.current_floor)
+        return true_amps + noise + floor
+
+    def read_voltage_averaged(self, true_volts: float, samples: int = 16) -> float:
+        """Averaged reading (long integration): noise shrinks as 1/sqrt(n).
+
+        Quantisation is applied after averaging, as the real instrument's
+        ADC does in its high-resolution mode.
+        """
+        if samples < 1:
+            raise MeasurementError("need at least one sample")
+        s = self.settings
+        if abs(true_volts) > s.voltage_range:
+            raise MeasurementError(
+                f"voltage {true_volts:.3f} V exceeds the {s.voltage_range} V range"
+            )
+        mean = true_volts + self.rng.normal(
+            0.0, s.voltage_noise_rms / np.sqrt(samples)
+        )
+        if s.voltage_resolution > 0:
+            mean = round(mean / s.voltage_resolution) * s.voltage_resolution
+        return mean
+
+
+class TemperatureLogger:
+    """Simulated HP34970A + pt100 probe on the package.
+
+    ``calibration_offset_k`` is the per-setup systematic error (the
+    paper's "precision less than 1 C"); readings add a small random
+    component on top.  The logger reads the probe, i.e. the *component*
+    temperature — self-heating of the die is invisible to it.
+    """
+
+    def __init__(
+        self,
+        calibration_offset_k: float = 0.0,
+        settings: InstrumentSettings = InstrumentSettings(),
+        rng: np.random.Generator = None,
+    ):
+        if abs(calibration_offset_k) > 1.0:
+            raise MeasurementError(
+                "pt100 calibration offset beyond the paper's <1 C spec"
+            )
+        self.calibration_offset_k = calibration_offset_k
+        self.settings = settings
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def read(self, true_component_k: float) -> float:
+        """One temperature reading [K]."""
+        if true_component_k <= 0.0:
+            raise MeasurementError("component temperature must be positive")
+        return (
+            true_component_k
+            + self.calibration_offset_k
+            + self.rng.normal(0.0, self.settings.temperature_noise_rms)
+        )

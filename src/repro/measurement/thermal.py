@@ -1,0 +1,102 @@
+"""Thermal chamber and die self-heating.
+
+The paper: "the ensemble of the devices: component-sensor is placed in a
+hermetic partition.  Great care is given to insure that each point is
+measured in a complete thermal equilibrium" — and still Table 1 finds
+2-7 K between the sensor and the computed die temperature, because the
+sensor sits on the *package* while the chip dissipates:
+
+    T_die = T_chamber + R_th * P(T_die)
+
+:class:`SelfHeatingModel` solves this small fixed point; the dissipated
+power combines a temperature-flat quiescent part (the amplifier stage)
+and the PTAT core bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class SelfHeatingModel:
+    """Die-to-ambient thermal model.
+
+    Parameters
+    ----------
+    rth_k_per_w:
+        Junction-to-ambient thermal resistance [K/W]; packaged small
+        BiCMOS dies sit around 100-300 K/W.
+    quiescent_power_w:
+        Temperature-flat dissipation (amplifier stage quiescent current
+        times the supply) [W].
+    core_power_law:
+        Optional ``P(T_die)`` for the temperature-dependent part (the
+        PTAT core bias); ``None`` means only the quiescent part heats.
+    """
+
+    rth_k_per_w: float = 150.0
+    quiescent_power_w: float = 6.0e-3
+    core_power_law: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.rth_k_per_w < 0.0:
+            raise MeasurementError("thermal resistance must be non-negative")
+        if self.quiescent_power_w < 0.0:
+            raise MeasurementError("quiescent power must be non-negative")
+
+    def power_at(self, die_k: float) -> float:
+        """Total dissipated power at a die temperature [W]."""
+        power = self.quiescent_power_w
+        if self.core_power_law is not None:
+            core = float(self.core_power_law(die_k))
+            if core < 0.0:
+                raise MeasurementError("core power law returned negative power")
+            power += core
+        return power
+
+    def die_temperature(self, ambient_k: float, tol_k: float = 1e-6,
+                        max_iterations: int = 50) -> float:
+        """Solve ``T_die = T_amb + Rth * P(T_die)`` [K]."""
+        if ambient_k <= 0.0:
+            raise MeasurementError("ambient temperature must be positive")
+        die = ambient_k
+        for _ in range(max_iterations):
+            updated = ambient_k + self.rth_k_per_w * self.power_at(die)
+            if abs(updated - die) < tol_k:
+                return updated
+            die = updated
+        raise MeasurementError("self-heating fixed point did not settle")
+
+    def self_heating_k(self, ambient_k: float) -> float:
+        """Die rise above ambient [K]."""
+        return self.die_temperature(ambient_k) - ambient_k
+
+
+class ThermalChamber:
+    """A chamber that soaks the DUT to a set point.
+
+    ``settling_error_k`` models imperfect equilibrium (0 for the paper's
+    carefully soaked measurements); the chamber reports the package
+    temperature, the :class:`SelfHeatingModel` turns it into the die
+    temperature.
+    """
+
+    def __init__(self, settling_error_k: float = 0.0):
+        self.settling_error_k = settling_error_k
+        self._setpoint_k: Optional[float] = None
+
+    def set_temperature(self, setpoint_k: float) -> None:
+        if setpoint_k <= 0.0:
+            raise MeasurementError("chamber setpoint must be positive")
+        self._setpoint_k = setpoint_k
+
+    @property
+    def component_temperature_k(self) -> float:
+        """Package temperature after soak [K]."""
+        if self._setpoint_k is None:
+            raise MeasurementError("chamber setpoint not programmed")
+        return self._setpoint_k + self.settling_error_k

@@ -1,0 +1,57 @@
+"""Semiconductor physics substrate.
+
+Implements the quantities the paper builds its derivation on (sections 2
+and 3): temperature models of the silicon energy band gap ``EG(T)``
+(paper eqs. 7-9 and Fig. 1), bandgap narrowing, the intrinsic carrier
+concentration (eqs. 3, 6, 10), mobility/diffusivity temperature laws
+(eq. 4) and the Gummel-number based saturation current ``IS(T)``
+(eqs. 2, 5, 11) together with its identification against the SPICE model
+(eqs. 1 and 12).
+"""
+
+from .bandgap import (
+    BandgapModel,
+    LinearBandgap,
+    VarshniBandgap,
+    ThurmondLogBandgap,
+    paper_models,
+    PAPER_MODEL_PARAMETERS,
+)
+from .narrowing import (
+    BandgapNarrowing,
+    FixedNarrowing,
+    SlotboomNarrowing,
+    DEL_ALAMO_NARROWING,
+    SI_EMITTER_NARROWING_EV,
+    SIGE_HBT_NARROWING_EV,
+)
+from .intrinsic import intrinsic_concentration, effective_intrinsic_concentration
+from .mobility import MobilityPowerLaw, diffusivity_from_mobility, einstein_diffusivity
+from .gummel import (
+    GummelNumberModel,
+    PhysicalSaturationCurrent,
+    spice_parameters_from_physics,
+)
+
+__all__ = [
+    "BandgapModel",
+    "LinearBandgap",
+    "VarshniBandgap",
+    "ThurmondLogBandgap",
+    "paper_models",
+    "PAPER_MODEL_PARAMETERS",
+    "BandgapNarrowing",
+    "FixedNarrowing",
+    "SlotboomNarrowing",
+    "DEL_ALAMO_NARROWING",
+    "SI_EMITTER_NARROWING_EV",
+    "SIGE_HBT_NARROWING_EV",
+    "intrinsic_concentration",
+    "effective_intrinsic_concentration",
+    "MobilityPowerLaw",
+    "diffusivity_from_mobility",
+    "einstein_diffusivity",
+    "GummelNumberModel",
+    "PhysicalSaturationCurrent",
+    "spice_parameters_from_physics",
+]

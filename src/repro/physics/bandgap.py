@@ -1,0 +1,209 @@
+"""Temperature models of the silicon energy band gap (paper section 2).
+
+The paper compares five parameterisations of ``EG(T)`` (its Fig. 1):
+
+* ``EG1`` — the linearisation of ``EG5`` around a reference temperature
+  (paper eq. 7, ``EG(T) = EG(0) - a*T``);
+* ``EG2`` — Varshni's law with Varshni's own coefficients [Varshni 1967]
+  (paper eq. 8, ``EG(T) = EG(0) - alpha*T**2 / (T + beta)``);
+* ``EG3`` — Varshni's law with Thurmond's coefficients [Thurmond 1975];
+* ``EG4``/``EG5`` — the logarithmic form ``EG(T) = EG(0) + a*T + b*T*ln T``
+  (paper eq. 9) with the two coefficient sets of Gambetta & Celi [6].
+
+Only the logarithmic form is compatible with the SPICE saturation-current
+law (paper eqs. 10-12): plugging eq. 9 into ``ni^2(T)`` makes the
+``b*T*ln T`` term fold into the ``T**XTI`` prefactor, with
+``XTI = 4 - EN - Erho - b/k`` — this is how the paper identifies the SPICE
+parameters with physical ones, and why :class:`ThurmondLogBandgap` is the
+model the rest of the library builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from ..constants import K_BOLTZMANN_EV
+from ..errors import ModelError
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Temperatures below this are treated as "at absolute zero" by the models
+#: that have a removable singularity there (``T*ln T -> 0``).
+_T_EPS = 1e-12
+
+
+def _as_array(temperature_k: ArrayLike) -> np.ndarray:
+    temps = np.asarray(temperature_k, dtype=float)
+    if np.any(temps < 0.0):
+        raise ModelError("bandgap models require temperatures >= 0 K")
+    return temps
+
+
+class BandgapModel:
+    """Base class: an ``EG(T)`` curve with analytic derivative.
+
+    Subclasses implement :meth:`eg` and :meth:`deg_dt`; the base class
+    provides the linearisation/extrapolation helpers used to build the
+    paper's ``EG1`` curve and the ``EG0`` intercept shown in its Fig. 1.
+    """
+
+    #: Short label used in figures and reports ("EG5", ...).
+    label: str = "EG"
+
+    def eg(self, temperature_k: ArrayLike) -> ArrayLike:
+        """Return the band gap in eV at the given temperature(s) [K]."""
+        raise NotImplementedError
+
+    def deg_dt(self, temperature_k: ArrayLike) -> ArrayLike:
+        """Return ``dEG/dT`` in eV/K at the given temperature(s) [K]."""
+        raise NotImplementedError
+
+    def eg_at_zero(self) -> float:
+        """Band gap at absolute zero, ``EG(0)`` [eV]."""
+        return float(self.eg(0.0))
+
+    def linearized(self, reference_k: float) -> "LinearBandgap":
+        """Tangent-line model at ``reference_k`` (paper eq. 7 / curve EG1).
+
+        The returned model satisfies ``EG(T_ref)`` and ``dEG/dT(T_ref)`` of
+        ``self`` exactly; its zero-kelvin intercept is the *extrapolated*
+        value ``EG0`` the paper warns about.
+        """
+        if reference_k <= 0.0:
+            raise ModelError("linearisation reference must be positive")
+        slope = float(self.deg_dt(reference_k))
+        value = float(self.eg(reference_k))
+        intercept = value - slope * reference_k
+        return LinearBandgap(eg0=intercept, a=-slope, label=f"{self.label}-lin")
+
+    def extrapolated_eg0(self, reference_k: float) -> float:
+        """``EG0``: zero-kelvin intercept of the tangent at ``reference_k``.
+
+        This is the quantity a designer implicitly uses when treating the
+        ``VBE(T)`` slope as constant; the paper's Fig. 1 shows it sits well
+        above every model's true ``EG(0)``.
+        """
+        return self.linearized(reference_k).eg_at_zero()
+
+
+@dataclass(frozen=True)
+class LinearBandgap(BandgapModel):
+    """Paper eq. 7: ``EG(T) = EG(0) - a*T`` (curve EG1 of Fig. 1)."""
+
+    eg0: float
+    a: float
+    label: str = "EG1"
+
+    def eg(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        result = self.eg0 - self.a * temps
+        return float(result) if np.isscalar(temperature_k) else result
+
+    def deg_dt(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        result = np.full_like(temps, -self.a)
+        return float(result) if np.isscalar(temperature_k) else result
+
+
+@dataclass(frozen=True)
+class VarshniBandgap(BandgapModel):
+    """Paper eq. 8: ``EG(T) = EG(0) - alpha*T^2/(T + beta)`` [Varshni 1967].
+
+    ``alpha`` in eV/K, ``beta`` in K.  Curves EG2 and EG3 of Fig. 1 use
+    this form with different coefficient sets.
+    """
+
+    eg0: float
+    alpha: float
+    beta: float
+    label: str = "EG2"
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ModelError("Varshni beta must be positive")
+
+    def eg(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        result = self.eg0 - self.alpha * temps**2 / (temps + self.beta)
+        return float(result) if np.isscalar(temperature_k) else result
+
+    def deg_dt(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        # d/dT [T^2/(T+beta)] = T*(T + 2*beta)/(T+beta)^2
+        result = -self.alpha * temps * (temps + 2.0 * self.beta) / (temps + self.beta) ** 2
+        return float(result) if np.isscalar(temperature_k) else result
+
+
+@dataclass(frozen=True)
+class ThurmondLogBandgap(BandgapModel):
+    """Paper eq. 9: ``EG(T) = EG(0) + a*T + b*T*ln T`` [Thurmond 1975].
+
+    ``a`` and ``b`` in eV/K.  This is the only form under which the
+    Gummel-Poon ``IS(T)`` collapses exactly onto the SPICE law (eq. 1):
+    the ``b*T*ln T`` term becomes a ``T**(-b/k)`` factor in ``ni^2`` and
+    therefore contributes ``-b/k`` to ``XTI`` (paper eq. 12).
+    """
+
+    eg0: float
+    a: float
+    b: float
+    label: str = "EG5"
+
+    def eg(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tlnt = np.where(temps > _T_EPS, temps * np.log(np.maximum(temps, _T_EPS)), 0.0)
+        result = self.eg0 + self.a * temps + self.b * tlnt
+        return float(result) if np.isscalar(temperature_k) else result
+
+    def deg_dt(self, temperature_k: ArrayLike) -> ArrayLike:
+        temps = _as_array(temperature_k)
+        if np.any(temps <= _T_EPS):
+            raise ModelError("dEG/dT of the logarithmic model diverges at T=0")
+        result = self.a + self.b * (np.log(temps) + 1.0)
+        return float(result) if np.isscalar(temperature_k) else result
+
+    @property
+    def xti_contribution(self) -> float:
+        """The ``-b/k`` term this model contributes to SPICE ``XTI``."""
+        return -self.b / K_BOLTZMANN_EV
+
+
+#: Coefficients of the five curves of the paper's Fig. 1, verbatim from its
+#: section 2 listing.  EG1 is derived (linearisation of EG5 at 300 K) so it
+#: carries a factory instead of raw coefficients.
+PAPER_MODEL_PARAMETERS: Dict[str, Dict[str, float]] = {
+    "EG2": {"eg0": 1.1557, "alpha": 7.021e-4, "beta": 1108.0},
+    "EG3": {"eg0": 1.170, "alpha": 4.73e-4, "beta": 636.0},
+    "EG4": {"eg0": 1.1663, "a": 6.141e-4, "b": -1.307e-4},
+    "EG5": {"eg0": 1.1774, "a": 3.042e-4, "b": -8.459e-5},
+}
+
+#: Reference temperature at which the paper's EG1 linearises EG5.
+EG1_REFERENCE_K = 300.0
+
+
+def paper_models(reference_k: float = EG1_REFERENCE_K) -> Dict[str, BandgapModel]:
+    """Return the five models of the paper's Fig. 1, keyed ``EG1``..``EG5``.
+
+    ``EG1`` is the tangent of ``EG5`` at ``reference_k`` (the paper's
+    "linearized model of EG5(T) from the chosen reference temperature").
+    """
+    eg2 = VarshniBandgap(label="EG2", **PAPER_MODEL_PARAMETERS["EG2"])
+    eg3 = VarshniBandgap(label="EG3", **PAPER_MODEL_PARAMETERS["EG3"])
+    eg4 = ThurmondLogBandgap(label="EG4", **PAPER_MODEL_PARAMETERS["EG4"])
+    eg5 = ThurmondLogBandgap(label="EG5", **PAPER_MODEL_PARAMETERS["EG5"])
+    eg1 = eg5.linearized(reference_k)
+    eg1 = LinearBandgap(eg0=eg1.eg0, a=eg1.a, label="EG1")
+    return {"EG1": eg1, "EG2": eg2, "EG3": eg3, "EG4": eg4, "EG5": eg5}
+
+
+def model_disagreement_at_zero(models: Dict[str, BandgapModel] = None) -> float:
+    """Spread of ``EG(0)`` between EG5 and EG2 in eV (paper: ~22 meV)."""
+    if models is None:
+        models = paper_models()
+    return models["EG5"].eg_at_zero() - models["EG2"].eg_at_zero()

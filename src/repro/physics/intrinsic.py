@@ -1,0 +1,69 @@
+"""Intrinsic carrier concentration (paper eqs. 3, 6 and 10).
+
+``ni^2(T)`` follows the Boltzmann form (eq. 6)
+
+    ni^2(T) = ni^2(T0) * (T/T0)^3 * exp(EG(T0)/(k*T0) - EG(T)/(k*T))
+
+and the *effective* intrinsic concentration in a heavily doped region adds
+the bandgap narrowing (eq. 3)
+
+    nie^2(T) = ni^2(T) * exp(dEG_bgn/(k*T)).
+
+When ``EG(T)`` is the logarithmic model (eq. 9) the combination collapses
+to the closed form of eq. 10, which the Gummel module relies on; this
+module evaluates the general forms so tests can verify that collapse.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import K_BOLTZMANN_EV, NI_SILICON_300K
+from ..errors import ModelError
+from .bandgap import BandgapModel
+from .narrowing import BandgapNarrowing, FixedNarrowing
+
+#: Reference point used to anchor the absolute scale of ``ni``.
+_NI_REFERENCE_K = 300.0
+
+
+def intrinsic_concentration(
+    temperature_k: float,
+    bandgap: BandgapModel,
+    ni_ref_cm3: float = NI_SILICON_300K,
+    reference_k: float = _NI_REFERENCE_K,
+) -> float:
+    """Return ``ni(T)`` in cm^-3 according to paper eq. 6.
+
+    The curve is anchored so that ``ni(reference_k) = ni_ref_cm3``; the
+    paper never needs the absolute scale (it cancels in every ratio), but
+    the device models use it to set realistic saturation currents.
+    """
+    if temperature_k <= 0.0:
+        raise ModelError("ni(T) requires a positive temperature")
+    eg_t = float(bandgap.eg(temperature_k))
+    eg_ref = float(bandgap.eg(reference_k))
+    ratio_sq = (temperature_k / reference_k) ** 3 * math.exp(
+        eg_ref / (K_BOLTZMANN_EV * reference_k) - eg_t / (K_BOLTZMANN_EV * temperature_k)
+    )
+    return ni_ref_cm3 * math.sqrt(ratio_sq)
+
+
+def effective_intrinsic_concentration(
+    temperature_k: float,
+    bandgap: BandgapModel,
+    narrowing: BandgapNarrowing = None,
+    doping_cm3: float = 1.0e18,
+    ni_ref_cm3: float = NI_SILICON_300K,
+) -> float:
+    """Return ``nie(T)`` in cm^-3 including bandgap narrowing (eq. 3).
+
+    ``nie^2 = ni^2 * exp(dEG_bgn / kT)`` — narrowing *increases* the
+    effective intrinsic concentration, which is why it increases ``IS``
+    and decreases the effective SPICE ``EG`` (eq. 12).
+    """
+    if narrowing is None:
+        narrowing = FixedNarrowing()
+    ni = intrinsic_concentration(temperature_k, bandgap, ni_ref_cm3=ni_ref_cm3)
+    delta = narrowing.delta_eg(doping_cm3)
+    return ni * math.exp(delta / (2.0 * K_BOLTZMANN_EV * temperature_k))

@@ -1,0 +1,63 @@
+"""Carrier mobility and diffusivity temperature laws (paper eq. 4).
+
+The paper models the minority-carrier mobility in the base as a power law
+``mu(T) = mu(T0) * (T/T0)**(-EN)``; through the Einstein relation
+``D = (kT/q) * mu`` the mean base diffusion constant becomes
+
+    Dnb(T) = Dnb(T0) * (T/T0)**(1 - EN)            (paper eq. 4)
+
+``EN`` is one of the three physical exponents that add up to the SPICE
+``XTI`` (eq. 12).  Typical silicon base values sit around 1.3-1.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import thermal_voltage
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class MobilityPowerLaw:
+    """``mu(T) = mu_ref * (T/T_ref)**(-exponent)``.
+
+    ``mu_ref`` in cm^2/(V*s); ``exponent`` is the paper's ``EN``.
+    """
+
+    mu_ref: float = 450.0
+    t_ref: float = 300.0
+    exponent: float = 1.42
+
+    def __post_init__(self) -> None:
+        if self.mu_ref <= 0.0 or self.t_ref <= 0.0:
+            raise ModelError("mobility reference values must be positive")
+
+    def mobility(self, temperature_k: float) -> float:
+        """Return mu(T) in cm^2/(V*s)."""
+        if temperature_k <= 0.0:
+            raise ModelError("mobility requires a positive temperature")
+        return self.mu_ref * (temperature_k / self.t_ref) ** (-self.exponent)
+
+    def diffusivity(self, temperature_k: float) -> float:
+        """Return ``D(T)`` in cm^2/s via the Einstein relation.
+
+        Equivalent to paper eq. 4 with ``D(T0) = VT(T0)*mu(T0)`` — the
+        exponent of the resulting power law is ``1 - EN``.
+        """
+        return einstein_diffusivity(self.mobility(temperature_k), temperature_k)
+
+
+def einstein_diffusivity(mobility_cm2: float, temperature_k: float) -> float:
+    """Einstein relation ``D = (kT/q) * mu`` [cm^2/s]."""
+    if mobility_cm2 <= 0.0:
+        raise ModelError("mobility must be positive")
+    return thermal_voltage(temperature_k) * mobility_cm2
+
+
+def diffusivity_from_mobility(
+    mu_ref: float, temperature_k: float, t_ref: float = 300.0, exponent: float = 1.42
+) -> float:
+    """Convenience wrapper: ``D(T)`` for a power-law mobility in one call."""
+    law = MobilityPowerLaw(mu_ref=mu_ref, t_ref=t_ref, exponent=exponent)
+    return law.diffusivity(temperature_k)

@@ -1,0 +1,93 @@
+"""Bandgap narrowing models (paper eqs. 3 and 12, ``dEG_bgn``).
+
+Heavy doping in the emitter/base shrinks the apparent band gap; the paper
+quotes ~45 meV for modern silicon emitter profiles [Ashburn 1996] and
+~150 meV for SiGe HBTs, and folds the narrowing into the effective SPICE
+parameter via ``EG = EG(0) - dEG_bgn`` (eq. 12).
+
+Three models are provided:
+
+* :class:`FixedNarrowing` — a constant shift, which is how the paper's
+  derivation treats it;
+* :class:`SlotboomNarrowing` — the classic doping-dependent empirical law,
+  so process studies can sweep doping instead of guessing a shift;
+* :data:`DEL_ALAMO_NARROWING` — del Alamo's n-type coefficient set, as an
+  alternative calibration of the same law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+#: Narrowing the paper quotes for high-peak Si emitter profiles [eV].
+SI_EMITTER_NARROWING_EV = 0.045
+
+#: Narrowing the paper quotes for SiGe HBTs [eV].
+SIGE_HBT_NARROWING_EV = 0.150
+
+
+class BandgapNarrowing:
+    """Base class: returns ``dEG_bgn`` in eV for a given doping [cm^-3]."""
+
+    def delta_eg(self, doping_cm3: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedNarrowing(BandgapNarrowing):
+    """A doping-independent narrowing, ``dEG_bgn = value_ev``.
+
+    This mirrors the paper's usage, where the narrowing enters only as a
+    lumped shift of the effective ``EG``.
+    """
+
+    value_ev: float = SI_EMITTER_NARROWING_EV
+
+    def __post_init__(self) -> None:
+        if self.value_ev < 0.0:
+            raise ModelError("bandgap narrowing must be non-negative")
+
+    def delta_eg(self, doping_cm3: float) -> float:
+        return self.value_ev
+
+
+@dataclass(frozen=True)
+class SlotboomNarrowing(BandgapNarrowing):
+    """Slotboom-de Graaff empirical narrowing law.
+
+    ``dEG = e1 * (ln(N/n_ref) + sqrt(ln(N/n_ref)^2 + c))`` for doping ``N``
+    above the onset; zero below.  Default coefficients are the published
+    p-type silicon values (e1 = 9 meV, n_ref = 1e17 cm^-3, c = 0.5).
+    """
+
+    e1_ev: float = 9.0e-3
+    n_ref_cm3: float = 1.0e17
+    c: float = 0.5
+
+    def delta_eg(self, doping_cm3: float) -> float:
+        if doping_cm3 <= 0.0:
+            raise ModelError("doping must be positive")
+        x = math.log(doping_cm3 / self.n_ref_cm3)
+        value = self.e1_ev * (x + math.sqrt(x * x + self.c))
+        return max(value, 0.0)
+
+
+#: del Alamo's n-Si calibration of the logarithmic narrowing law:
+#: ``dEG = 18.7 meV * ln(N / 7e17)`` for N above the onset.
+@dataclass(frozen=True)
+class _DelAlamoNarrowing(BandgapNarrowing):
+    e1_ev: float = 18.7e-3
+    n_onset_cm3: float = 7.0e17
+
+    def delta_eg(self, doping_cm3: float) -> float:
+        if doping_cm3 <= 0.0:
+            raise ModelError("doping must be positive")
+        if doping_cm3 <= self.n_onset_cm3:
+            return 0.0
+        return self.e1_ev * math.log(doping_cm3 / self.n_onset_cm3)
+
+
+DEL_ALAMO_NARROWING = _DelAlamoNarrowing()

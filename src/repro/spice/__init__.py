@@ -1,0 +1,60 @@
+"""A small SPICE: modified nodal analysis with a damped Newton DC solver.
+
+The paper's Fig. 8 curves are SPICE temperature sweeps of a bandgap cell
+with different model cards; since no external simulator is available
+offline, this package implements the needed subset from scratch:
+
+* :mod:`repro.spice.netlist` — circuit container and node bookkeeping;
+* :mod:`repro.spice.elements` — R, V/I sources, controlled sources,
+  diode, Gummel-Poon BJT (with the parasitic substrate hook) and an
+  op-amp macro-model;
+* :mod:`repro.spice.mna` — residual/Jacobian assembly;
+* :mod:`repro.spice.solver` — damped Newton-Raphson with gmin and
+  source stepping;
+* :mod:`repro.spice.analysis` — operating point, DC sweeps and
+  temperature sweeps;
+* :mod:`repro.spice.thermal` — the electro-thermal self-heating loop
+  behind the paper's sensor-vs-die temperature discrepancy (Table 1);
+* :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser.
+"""
+
+from .netlist import Circuit, GROUND
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    OpAmp,
+    Resistor,
+    SpiceBJT,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .solver import SolverOptions, solve_dc
+from .analysis import OperatingPoint, SweepResult, dc_sweep, operating_point, temperature_sweep
+from .thermal import ThermalSolution, solve_with_self_heating
+from .parser import parse_netlist
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "Diode",
+    "SpiceBJT",
+    "OpAmp",
+    "SolverOptions",
+    "solve_dc",
+    "OperatingPoint",
+    "SweepResult",
+    "operating_point",
+    "dc_sweep",
+    "temperature_sweep",
+    "ThermalSolution",
+    "solve_with_self_heating",
+    "parse_netlist",
+]

@@ -1,0 +1,135 @@
+"""DC analyses: operating point, source sweeps, temperature sweeps.
+
+Temperature sweeps warm-start each point from the previous solution —
+both a large speed win and a robustness win for the bandgap cell, whose
+op-amp loop has a far smaller basin of attraction from a cold start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NetlistError
+from .mna import MNASystem
+from .netlist import Circuit
+from .solver import RawSolution, SolverOptions, solve_dc
+
+
+@dataclass
+class OperatingPoint:
+    """A solved DC point with name-based accessors."""
+
+    circuit: Circuit
+    temperature_k: float
+    x: np.ndarray
+    iterations: int
+    residual: float
+    strategy: str
+
+    def voltage(self, node: str) -> float:
+        """Voltage at a named node [V] (0 for ground)."""
+        index = self.circuit.node_index(node)
+        return 0.0 if index < 0 else float(self.x[index])
+
+    def branch_current(self, element_name: str) -> float:
+        """Branch current of a voltage-defined element [A]."""
+        element = self.circuit.element(element_name)
+        if element.branch_count == 0:
+            raise NetlistError(
+                f"{element_name} has no branch current (not voltage-defined)"
+            )
+        return float(self.x[element.branch_index()])
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages as a dict."""
+        return {node: self.voltage(node) for node in self.circuit.nodes}
+
+
+@dataclass
+class SweepResult:
+    """An ordered set of operating points over a swept parameter."""
+
+    parameter: str
+    values: np.ndarray
+    points: List[OperatingPoint]
+
+    def voltage(self, node: str) -> np.ndarray:
+        return np.array([point.voltage(node) for point in self.points])
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        return np.array([point.branch_current(element_name) for point in self.points])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def operating_point(
+    circuit: Circuit,
+    temperature_k: float = 300.15,
+    options: Optional[SolverOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> OperatingPoint:
+    """Solve and wrap a single DC operating point."""
+    raw = solve_dc(circuit, temperature_k=temperature_k, options=options, x0=x0)
+    return OperatingPoint(
+        circuit=circuit,
+        temperature_k=temperature_k,
+        x=raw.x,
+        iterations=raw.iterations,
+        residual=raw.residual,
+        strategy=raw.strategy,
+    )
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    temperature_k: float = 300.15,
+    options: Optional[SolverOptions] = None,
+) -> SweepResult:
+    """Sweep the DC value of a V/I source, warm-starting each point.
+
+    The source's ``dc`` attribute is restored afterwards.
+    """
+    element = circuit.element(source_name)
+    if not hasattr(element, "dc"):
+        raise NetlistError(f"{source_name} is not an independent source")
+    original = element.dc
+    points: List[OperatingPoint] = []
+    x_prev: Optional[np.ndarray] = None
+    try:
+        for value in values:
+            element.dc = float(value)
+            point = operating_point(
+                circuit, temperature_k=temperature_k, options=options, x0=x_prev
+            )
+            points.append(point)
+            x_prev = point.x
+    finally:
+        element.dc = original
+    return SweepResult(parameter=source_name, values=np.asarray(values, float), points=points)
+
+
+def temperature_sweep(
+    circuit: Circuit,
+    temperatures_k: Sequence[float],
+    options: Optional[SolverOptions] = None,
+) -> SweepResult:
+    """Solve the circuit across a temperature list (paper Fig. 8 style)."""
+    points: List[OperatingPoint] = []
+    x_prev: Optional[np.ndarray] = None
+    for temperature in temperatures_k:
+        point = operating_point(
+            circuit, temperature_k=float(temperature), options=options, x0=x_prev
+        )
+        points.append(point)
+        x_prev = point.x
+    return SweepResult(
+        parameter="temperature",
+        values=np.asarray(temperatures_k, float),
+        points=points,
+    )

@@ -1,0 +1,26 @@
+"""Circuit elements for the MNA solver."""
+
+from .base import Element, Stamp, limited_exp
+from .passives import Capacitor, Resistor
+from .sources import CurrentSource, VoltageSource
+from .controlled import CCCS, CCVS, VCCS, VCVS
+from .diode import Diode
+from .bjt import SpiceBJT
+from .opamp import OpAmp
+
+__all__ = [
+    "Element",
+    "Stamp",
+    "limited_exp",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "SpiceBJT",
+    "OpAmp",
+]

@@ -1,0 +1,166 @@
+"""Element protocol and the stamping helper.
+
+Residual convention (what :meth:`Element.stamp` must produce):
+
+* For each non-ground node ``n``, ``F[n]`` accumulates the current
+  *leaving* the node into the elements (KCL: the converged solution has
+  ``F[n] = 0``).
+* Voltage-defined elements own one extra unknown (a branch current) and
+  one extra residual row (their branch equation, in volts).
+
+``stamp`` receives a :class:`Stamp` context exposing the current iterate,
+the global Jacobian/residual and the ambient conditions.  Elements are
+bound to their global indices once, at system build time, via
+:meth:`Element.bind`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Exponential arguments beyond this are linearised to keep Newton finite.
+#: The cap must sit ABOVE any physically converged junction argument, or
+#: the linear continuation manufactures spurious equilibria: at 193 K the
+#: library's PNPs run at vbe/(n*VT) ~ 54 because IS(193 K) ~ 1e-28 A, so
+#: a conservative 120 covers the whole -80..+145 C range of the paper
+#: while exp(120) ~ 1.3e52 stays comfortably inside float64.
+_MAX_EXP_ARG = 120.0
+
+
+def limited_exp(arg: float) -> Tuple[float, float]:
+    """Return ``(exp(arg), d/darg exp(arg))`` with linear continuation.
+
+    Beyond the cap the function continues linearly with the slope at the
+    boundary; this keeps junction stamps finite for the wild intermediate
+    iterates Newton can produce, without affecting converged solutions
+    (see the cap's comment for why it must clear every physical bias).
+    """
+    if arg <= _MAX_EXP_ARG:
+        value = math.exp(arg)
+        return value, value
+    edge = math.exp(_MAX_EXP_ARG)
+    return edge * (1.0 + (arg - _MAX_EXP_ARG)), edge
+
+
+class Stamp:
+    """Assembly context handed to every element's ``stamp``.
+
+    Wraps the residual vector ``F``, Jacobian ``J`` and current iterate
+    ``x``; all index arguments are *global* unknown indices, with ``-1``
+    meaning ground (contributions to ground are discarded).
+    """
+
+    __slots__ = ("x", "jacobian", "residual", "temperature_k", "gmin", "source_scale")
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        jacobian: np.ndarray,
+        residual: np.ndarray,
+        temperature_k: float,
+        gmin: float,
+        source_scale: float,
+    ):
+        self.x = x
+        self.jacobian = jacobian
+        self.residual = residual
+        self.temperature_k = temperature_k
+        self.gmin = gmin
+        self.source_scale = source_scale
+
+    def v(self, index: int) -> float:
+        """Voltage (or branch current) unknown at ``index``; 0 for ground."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index])
+
+    def add_residual(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.residual[row] += value
+
+    def add_jacobian(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.jacobian[row, col] += value
+
+    def stamp_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a linear conductance between unknowns ``a`` and ``b``.
+
+        Adds both the Jacobian entries and the residual contribution
+        ``g*(va - vb)`` so the same call serves linear and Newton paths.
+        """
+        va, vb = self.v(a), self.v(b)
+        current = g * (va - vb)
+        self.add_residual(a, current)
+        self.add_residual(b, -current)
+        self.add_jacobian(a, a, g)
+        self.add_jacobian(a, b, -g)
+        self.add_jacobian(b, a, -g)
+        self.add_jacobian(b, b, g)
+
+
+class Element:
+    """Base class for all circuit elements.
+
+    Attributes
+    ----------
+    name:
+        Unique element name within a circuit.
+    nodes:
+        Node names in the element's canonical terminal order.
+    branch_count:
+        Number of extra unknowns (branch currents) the element owns.
+    is_nonlinear:
+        Hint for diagnostics; the solver treats everything uniformly.
+    temperature_override:
+        When set (kelvin), the element evaluates at this temperature
+        instead of the ambient one — the hook the self-heating loop and
+        per-device thermal studies use.
+    """
+
+    branch_count: int = 0
+    is_nonlinear: bool = False
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        self.name = name
+        self.nodes = tuple(nodes)
+        self.temperature_override: float = None
+        self._node_idx: Tuple[int, ...] = ()
+        self._branch_offset: int = -1
+
+    # -- binding -------------------------------------------------------
+    def bind(self, node_indices: Sequence[int], branch_offset: int) -> None:
+        """Store global unknown indices (called once by the MNA builder)."""
+        self._node_idx = tuple(node_indices)
+        self._branch_offset = branch_offset
+
+    def branch_index(self, k: int = 0) -> int:
+        """Global index of the element's k-th branch unknown."""
+        if self.branch_count == 0:
+            raise IndexError(f"{self.name} has no branch unknowns")
+        return self._branch_offset + k
+
+    def device_temperature(self, stamp: Stamp) -> float:
+        """Element temperature: override if set, else ambient."""
+        if self.temperature_override is not None:
+            return self.temperature_override
+        return stamp.temperature_k
+
+    # -- behaviour -----------------------------------------------------
+    def stamp(self, stamp: Stamp) -> None:
+        raise NotImplementedError
+
+    def power(self, stamp: Stamp) -> float:
+        """Dissipated power at the current iterate [W] (0 by default).
+
+        Only elements that dissipate (resistors, devices) or deliver
+        (sources, negative) meaningful DC power need to override; the
+        self-heating loop sums source-delivered power instead, so this is
+        informational.
+        """
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"

@@ -1,0 +1,246 @@
+"""Gummel-Poon BJT element for the MNA solver.
+
+The element evaluates the *junction-level* device (transport current with
+base-charge normalisation, ideal + leakage base current) directly from a
+:class:`repro.bjt.BJTParameters` card.  Series resistances ``RB/RE/RC``
+are not folded into the element's equations; use :func:`add_bjt` to
+expand them into explicit resistors on internal nodes, exactly as SPICE
+does internally.
+
+Polarity: NPN and PNP are both supported; internally the device works in
+forward-junction convention and the sign ``s`` (+1 NPN, -1 PNP) maps
+node voltages and terminal currents.
+
+The optional parasitic substrate transistor (paper sections 4/6) is
+attached with :meth:`SpiceBJT.attach_substrate`; its leakage is a
+temperature-law current diverted from the collector node to the substrate
+node, gated by a saturation-drive factor (fixed, or derived from the
+collector-emitter headroom at the current iterate).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ...bjt.parameters import BJTParameters
+from ...bjt.substrate import SubstratePNP
+from ...constants import K_BOLTZMANN_EV, thermal_voltage
+from ...errors import NetlistError
+from .base import Element, Stamp, limited_exp
+from .passives import Resistor
+
+
+class SpiceBJT(Element):
+    """Three-terminal Gummel-Poon transistor (collector, base, emitter)."""
+
+    is_nonlinear = True
+
+    def __init__(self, name: str, collector: str, base: str, emitter: str,
+                 params: BJTParameters):
+        super().__init__(name, (collector, base, emitter))
+        self.params = params
+        self.sign = 1.0 if params.polarity == "npn" else -1.0
+        self.substrate: Optional[SubstratePNP] = None
+        self.substrate_node: str = "0"
+        self.substrate_drive: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def attach_substrate(
+        self,
+        substrate: SubstratePNP,
+        substrate_node: str = "0",
+        drive: Optional[float] = None,
+    ) -> "SpiceBJT":
+        """Attach the parasitic substrate transistor.
+
+        ``drive`` fixes the saturation-drive factor in [0, 1]; ``None``
+        derives it from the collector-emitter headroom at each iterate.
+        Must be called before the circuit is assembled (the substrate
+        node has to be registered).
+        """
+        if drive is not None and not 0.0 <= drive <= 1.0:
+            raise NetlistError(f"{self.name}: substrate drive must be in [0, 1]")
+        self.substrate = substrate
+        self.substrate_node = substrate_node
+        self.substrate_drive = drive
+        self.nodes = (self.nodes[0], self.nodes[1], self.nodes[2], substrate_node)
+        return self
+
+    # ------------------------------------------------------------------
+    def _is_at(self, t: float) -> float:
+        p = self.params
+        ratio = t / p.tnom
+        return p.is_ * ratio**p.xti * math.exp(
+            (p.eg / K_BOLTZMANN_EV) * (1.0 / p.tnom - 1.0 / t)
+        )
+
+    def _ise_at(self, t: float) -> float:
+        p = self.params
+        ratio = t / p.tnom
+        return p.ise * ratio ** (p.xti / p.ne - p.xtb) * math.exp(
+            (p.eg / (p.ne * K_BOLTZMANN_EV)) * (1.0 / p.tnom - 1.0 / t)
+        )
+
+    def _bf_at(self, t: float) -> float:
+        p = self.params
+        return p.bf * (t / p.tnom) ** p.xtb
+
+    def currents_and_derivatives(self, vbe: float, vbc: float, t: float):
+        """Junction-convention ``(ic, ib, dic_dvbe, dic_dvbc, dib_dvbe,
+        dib_dvbc)`` at temperature ``t``.
+
+        The base-charge denominator ``1 - vbe/VAR - vbc/VAF`` is clamped
+        at 0.05 to keep intermediate Newton iterates finite; converged
+        operating points sit far from the clamp.
+        """
+        p = self.params
+        vt = thermal_voltage(t)
+        is_t = self._is_at(t)
+        nf_vt = p.nf * vt
+        nr_vt = p.nr * vt
+        ne_vt = p.ne * vt
+
+        ef, def_ = limited_exp(vbe / nf_vt)
+        er, der = limited_exp(vbc / nr_vt)
+        i_f = is_t * (ef - 1.0)
+        i_r = is_t * (er - 1.0)
+        gif = is_t * def_ / nf_vt
+        gir = is_t * der / nr_vt
+
+        # Base charge qb = q1 * (1 + sqrt(1 + 4 q2)) / 2
+        inv_var = 0.0 if math.isinf(p.var) else 1.0 / p.var
+        inv_vaf = 0.0 if math.isinf(p.vaf) else 1.0 / p.vaf
+        d = 1.0 - vbe * inv_var - vbc * inv_vaf
+        clamped = d < 0.05
+        if clamped:
+            d = 0.05
+        q1 = 1.0 / d
+        dq1_dvbe = 0.0 if clamped else q1 * q1 * inv_var
+        dq1_dvbc = 0.0 if clamped else q1 * q1 * inv_vaf
+        if math.isinf(p.ikf):
+            q2, dq2_dvbe = 0.0, 0.0
+        else:
+            q2 = i_f / p.ikf
+            dq2_dvbe = gif / p.ikf
+        root = math.sqrt(1.0 + 4.0 * max(q2, 0.0))
+        h = 0.5 * (1.0 + root)
+        dh_dq2 = 1.0 / root
+        qb = q1 * h
+        dqb_dvbe = dq1_dvbe * h + q1 * dh_dq2 * dq2_dvbe
+        dqb_dvbc = dq1_dvbc * h
+
+        icc = (i_f - i_r) / qb
+        dicc_dvbe = gif / qb - icc * dqb_dvbe / qb
+        dicc_dvbc = -gir / qb - icc * dqb_dvbc / qb
+
+        bf_t = self._bf_at(t)
+        ise_t = self._ise_at(t)
+        ele, dele = limited_exp(vbe / ne_vt)
+
+        ic = icc - i_r / p.br
+        dic_dvbe = dicc_dvbe
+        dic_dvbc = dicc_dvbc - gir / p.br
+        ib = i_f / bf_t + ise_t * (ele - 1.0) + i_r / p.br
+        dib_dvbe = gif / bf_t + ise_t * dele / ne_vt
+        dib_dvbc = gir / p.br
+        return ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc
+
+    # ------------------------------------------------------------------
+    def stamp(self, stamp: Stamp) -> None:
+        has_substrate = self.substrate is not None
+        if has_substrate:
+            c, b, e, sub = self._node_idx
+        else:
+            c, b, e = self._node_idx
+            sub = -1
+        s = self.sign
+        t = self.device_temperature(stamp)
+        vc, vb, ve = stamp.v(c), stamp.v(b), stamp.v(e)
+        vbe = s * (vb - ve)
+        vbc = s * (vb - vc)
+        ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc = (
+            self.currents_and_derivatives(vbe, vbc, t)
+        )
+
+        # Terminal currents leaving each node into the device.
+        i_c = s * ic
+        i_b = s * ib
+        stamp.add_residual(c, i_c)
+        stamp.add_residual(b, i_b)
+        stamp.add_residual(e, -(i_c + i_b))
+
+        # Chain rule: d vbe/dVb = s etc.; the s*s products cancel.
+        stamp.add_jacobian(c, b, dic_dvbe + dic_dvbc)
+        stamp.add_jacobian(c, e, -dic_dvbe)
+        stamp.add_jacobian(c, c, -dic_dvbc)
+        stamp.add_jacobian(b, b, dib_dvbe + dib_dvbc)
+        stamp.add_jacobian(b, e, -dib_dvbe)
+        stamp.add_jacobian(b, c, -dib_dvbc)
+        stamp.add_jacobian(e, b, -(dic_dvbe + dic_dvbc) - (dib_dvbe + dib_dvbc))
+        stamp.add_jacobian(e, e, dic_dvbe + dib_dvbe)
+        stamp.add_jacobian(e, c, dic_dvbc + dib_dvbc)
+
+        # gmin across both junctions for Jacobian regularity.
+        stamp.stamp_conductance(b, e, stamp.gmin)
+        stamp.stamp_conductance(b, c, stamp.gmin)
+
+        if has_substrate:
+            if self.substrate_drive is not None:
+                drive = self.substrate_drive
+            else:
+                drive = self.substrate.saturation_drive(abs(vc - ve))
+            if drive > 0.0:
+                leak = self.substrate.leakage_current(t) * drive
+                # Leakage is diverted from the collector node into the
+                # substrate.  Its voltage dependence (through the drive
+                # ramp) is deliberately left out of the Jacobian: the
+                # term is tiny and a lagged Jacobian keeps Newton simple.
+                stamp.add_residual(c, leak)
+                stamp.add_residual(sub, -leak)
+
+    def power(self, stamp: Stamp) -> float:
+        """Dissipated power V_CE*I_C + V_BE*I_B at the iterate [W]."""
+        if self.substrate is not None:
+            c, b, e = self._node_idx[:3]
+        else:
+            c, b, e = self._node_idx
+        s = self.sign
+        t = self.device_temperature(stamp)
+        vc, vb, ve = stamp.v(c), stamp.v(b), stamp.v(e)
+        ic, ib, *_ = self.currents_and_derivatives(s * (vb - ve), s * (vb - vc), t)
+        return (vc - ve) * s * ic + (vb - ve) * s * ib
+
+
+def add_bjt(
+    circuit,
+    name: str,
+    collector: str,
+    base: str,
+    emitter: str,
+    params: BJTParameters,
+    substrate: Optional[SubstratePNP] = None,
+    substrate_node: str = "0",
+    substrate_drive: Optional[float] = None,
+) -> SpiceBJT:
+    """Add a BJT to ``circuit``, expanding RB/RE/RC into real resistors.
+
+    Internal nodes are named ``{name}#b`` / ``{name}#e`` / ``{name}#c``
+    (only created for non-zero resistances).  Returns the core element so
+    callers can attach temperature overrides.
+    """
+    inner_b, inner_e, inner_c = base, emitter, collector
+    if params.rb > 0.0:
+        inner_b = f"{name}#b"
+        circuit.add(Resistor(f"{name}.rb", base, inner_b, params.rb))
+    if params.re > 0.0:
+        inner_e = f"{name}#e"
+        circuit.add(Resistor(f"{name}.re", emitter, inner_e, params.re))
+    if params.rc > 0.0:
+        inner_c = f"{name}#c"
+        circuit.add(Resistor(f"{name}.rc", collector, inner_c, params.rc))
+    device = SpiceBJT(name, inner_c, inner_b, inner_e, params)
+    if substrate is not None:
+        device.attach_substrate(substrate, substrate_node, substrate_drive)
+    circuit.add(device)
+    return device

@@ -1,0 +1,130 @@
+"""Linear controlled sources: VCVS (E), VCCS (G), CCCS (F), CCVS (H).
+
+Voltage-controlled flavours take the controlling node pair directly;
+current-controlled flavours reference the branch current of a named
+voltage-defined element (the SPICE convention of sensing through a V
+source).  Terminal order follows SPICE: output pair first, control
+second.
+"""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from .base import Element, Stamp
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source.
+
+    ``v(outp) - v(outn) = gain * (v(cp) - v(cn))`` with one branch
+    current unknown (SPICE ``E`` element).
+    """
+
+    branch_count = 1
+
+    def __init__(self, name: str, outp: str, outn: str, cp: str, cn: str, gain: float):
+        super().__init__(name, (outp, outn, cp, cn))
+        self.gain = float(gain)
+
+    def stamp(self, stamp: Stamp) -> None:
+        op, on, cp, cn = self._node_idx
+        k = self.branch_index()
+        i = stamp.v(k)
+        stamp.add_residual(op, i)
+        stamp.add_residual(on, -i)
+        stamp.add_jacobian(op, k, 1.0)
+        stamp.add_jacobian(on, k, -1.0)
+        residual = (
+            stamp.v(op) - stamp.v(on) - self.gain * (stamp.v(cp) - stamp.v(cn))
+        )
+        stamp.add_residual(k, residual)
+        stamp.add_jacobian(k, op, 1.0)
+        stamp.add_jacobian(k, on, -1.0)
+        stamp.add_jacobian(k, cp, -self.gain)
+        stamp.add_jacobian(k, cn, self.gain)
+
+
+class VCCS(Element):
+    """Voltage-controlled current source.
+
+    Pushes ``gm * (v(cp) - v(cn))`` through itself from ``outp`` to
+    ``outn`` (SPICE ``G`` element).
+    """
+
+    def __init__(self, name: str, outp: str, outn: str, cp: str, cn: str, gm: float):
+        super().__init__(name, (outp, outn, cp, cn))
+        self.gm = float(gm)
+
+    def stamp(self, stamp: Stamp) -> None:
+        op, on, cp, cn = self._node_idx
+        control = stamp.v(cp) - stamp.v(cn)
+        current = self.gm * control
+        stamp.add_residual(op, current)
+        stamp.add_residual(on, -current)
+        stamp.add_jacobian(op, cp, self.gm)
+        stamp.add_jacobian(op, cn, -self.gm)
+        stamp.add_jacobian(on, cp, -self.gm)
+        stamp.add_jacobian(on, cn, self.gm)
+
+
+class _CurrentControlled(Element):
+    """Shared plumbing: resolve the sensed element's branch index."""
+
+    def __init__(self, name: str, outp: str, outn: str, sensed):
+        super().__init__(name, (outp, outn))
+        if getattr(sensed, "branch_count", 0) == 0:
+            raise NetlistError(
+                f"{name}: control element {getattr(sensed, 'name', sensed)!r} "
+                "has no branch current (sense through a V source)"
+            )
+        self.sensed = sensed
+
+    def _control_index(self) -> int:
+        return self.sensed.branch_index()
+
+
+class CCCS(_CurrentControlled):
+    """Current-controlled current source (SPICE ``F`` element).
+
+    Pushes ``gain * i(sensed)`` through itself from ``outp`` to ``outn``.
+    """
+
+    def __init__(self, name: str, outp: str, outn: str, sensed, gain: float):
+        super().__init__(name, outp, outn, sensed)
+        self.gain = float(gain)
+
+    def stamp(self, stamp: Stamp) -> None:
+        op, on = self._node_idx
+        k = self._control_index()
+        current = self.gain * stamp.v(k)
+        stamp.add_residual(op, current)
+        stamp.add_residual(on, -current)
+        stamp.add_jacobian(op, k, self.gain)
+        stamp.add_jacobian(on, k, -self.gain)
+
+
+class CCVS(_CurrentControlled):
+    """Current-controlled voltage source (SPICE ``H`` element).
+
+    ``v(outp) - v(outn) = r * i(sensed)`` with its own branch current.
+    """
+
+    branch_count = 1
+
+    def __init__(self, name: str, outp: str, outn: str, sensed, r: float):
+        super().__init__(name, outp, outn, sensed)
+        self.r = float(r)
+
+    def stamp(self, stamp: Stamp) -> None:
+        op, on = self._node_idx
+        k = self.branch_index()
+        sense = self._control_index()
+        i = stamp.v(k)
+        stamp.add_residual(op, i)
+        stamp.add_residual(on, -i)
+        stamp.add_jacobian(op, k, 1.0)
+        stamp.add_jacobian(on, k, -1.0)
+        stamp.add_residual(k, stamp.v(op) - stamp.v(on) - self.r * stamp.v(sense))
+        stamp.add_jacobian(k, op, 1.0)
+        stamp.add_jacobian(k, on, -1.0)
+        stamp.add_jacobian(k, sense, -self.r)

@@ -1,0 +1,93 @@
+"""Op-amp macro-model.
+
+A single-pole-free DC macro: the output is a voltage source whose value
+is a soft-clamped amplification of the differential input,
+
+    v(out) = center + swing * tanh(gain * (v(inp) - v(inn) + vos) / swing)
+
+with ``center``/``swing`` derived from the supply rails.  The tanh gives
+Newton a smooth, bounded branch equation (hard clamps are hostile to
+convergence), ``gain`` is the finite open-loop gain and ``vos`` the input
+offset voltage — the non-ideality the paper's section 4 names among the
+causes of the sensor-vs-die temperature discrepancy, and that the
+ADJ pads of the test cell exist to trim out.
+
+``vos`` may be a plain float or a callable of device temperature
+(kelvin).  The callable form is how :mod:`repro.circuits.trim` wires the
+RadjA compensation: the drop of the replica substrate-leakage current
+through RadjA appears in series with the amplifier input, i.e. as a
+temperature-dependent offset.
+
+Inputs draw no current (ideal input stage).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+from ...errors import NetlistError
+from .base import Element, Stamp
+
+OffsetValue = Union[float, Callable[[float], float]]
+
+
+class OpAmp(Element):
+    """Op-amp with output branch (inp, inn, out)."""
+
+    branch_count = 1
+    is_nonlinear = True
+
+    def __init__(
+        self,
+        name: str,
+        inp: str,
+        inn: str,
+        out: str,
+        gain: float = 1e4,
+        vos: OffsetValue = 0.0,
+        rail_low: float = 0.0,
+        rail_high: float = 5.0,
+    ):
+        super().__init__(name, (inp, inn, out))
+        if gain <= 0.0:
+            raise NetlistError(f"opamp {name}: gain must be positive")
+        if rail_high <= rail_low:
+            raise NetlistError(f"opamp {name}: rail_high must exceed rail_low")
+        self.gain = gain
+        self.vos = vos
+        self.rail_low = rail_low
+        self.rail_high = rail_high
+
+    def offset_at(self, temperature_k: float) -> float:
+        """Input offset voltage at temperature [V]."""
+        if callable(self.vos):
+            return float(self.vos(temperature_k))
+        return float(self.vos)
+
+    def output_value(self, vdiff: float, temperature_k: float = 300.15) -> float:
+        """Clamped output voltage for a differential input [V]."""
+        value, _ = self._output_and_slope(vdiff, temperature_k)
+        return value
+
+    def _output_and_slope(self, vdiff: float, temperature_k: float):
+        center = 0.5 * (self.rail_high + self.rail_low)
+        swing = 0.5 * (self.rail_high - self.rail_low)
+        arg = self.gain * (vdiff + self.offset_at(temperature_k)) / swing
+        th = math.tanh(arg)
+        value = center + swing * th
+        slope = self.gain * (1.0 - th * th)
+        return value, slope
+
+    def stamp(self, stamp: Stamp) -> None:
+        inp, inn, out = self._node_idx
+        k = self.branch_index()
+        i = stamp.v(k)
+        stamp.add_residual(out, i)
+        stamp.add_jacobian(out, k, 1.0)
+        vdiff = stamp.v(inp) - stamp.v(inn)
+        value, slope = self._output_and_slope(vdiff, self.device_temperature(stamp))
+        stamp.add_residual(k, stamp.v(out) - value)
+        stamp.add_jacobian(k, out, 1.0)
+        stamp.add_jacobian(k, inp, -slope)
+        stamp.add_jacobian(k, inn, slope)

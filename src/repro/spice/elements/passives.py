@@ -1,0 +1,81 @@
+"""Passive elements: resistor (with temperature coefficients), capacitor.
+
+The paper's test cell is built around n-well diffusion resistors
+(2 kOhm/square) whose value drifts with temperature; ``tc1``/``tc2`` model
+that drift the same way SPICE does:
+
+    R(T) = R0 * (1 + tc1*(T - tnom) + tc2*(T - tnom)**2)
+"""
+
+from __future__ import annotations
+
+from ...constants import T_NOMINAL
+from ...errors import NetlistError
+from .base import Element, Stamp
+
+
+class Resistor(Element):
+    """Linear resistor between ``a`` and ``b``.
+
+    ``tc1`` [1/K] and ``tc2`` [1/K^2] give the SPICE polynomial
+    temperature dependence; n-well diffusion resistors like the paper's
+    run a few 1000 ppm/K, which matters because the PTAT bias current of
+    the test cell is set by exactly such resistors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        resistance: float,
+        tc1: float = 0.0,
+        tc2: float = 0.0,
+        tnom: float = T_NOMINAL,
+    ):
+        super().__init__(name, (a, b))
+        if resistance <= 0.0:
+            raise NetlistError(f"resistor {name}: non-positive value {resistance}")
+        self.resistance = resistance
+        self.tc1 = tc1
+        self.tc2 = tc2
+        self.tnom = tnom
+
+    def resistance_at(self, temperature_k: float) -> float:
+        """Temperature-adjusted resistance [ohm]."""
+        dt = temperature_k - self.tnom
+        value = self.resistance * (1.0 + self.tc1 * dt + self.tc2 * dt * dt)
+        if value <= 0.0:
+            raise NetlistError(
+                f"resistor {self.name}: temperature coefficients drive the "
+                f"value non-positive at {temperature_k:.1f} K"
+            )
+        return value
+
+    def stamp(self, stamp: Stamp) -> None:
+        g = 1.0 / self.resistance_at(self.device_temperature(stamp))
+        a, b = self._node_idx
+        stamp.stamp_conductance(a, b, g)
+
+    def power(self, stamp: Stamp) -> float:
+        a, b = self._node_idx
+        dv = stamp.v(a) - stamp.v(b)
+        return dv * dv / self.resistance_at(self.device_temperature(stamp))
+
+
+class Capacitor(Element):
+    """Capacitor — an open circuit at DC.
+
+    Registers its nodes (so netlists with decoupling caps parse into the
+    same topology) but stamps nothing; a floating node created this way
+    is kept solvable by the solver's gmin-to-ground.
+    """
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float):
+        super().__init__(name, (a, b))
+        if capacitance <= 0.0:
+            raise NetlistError(f"capacitor {name}: non-positive value {capacitance}")
+        self.capacitance = capacitance
+
+    def stamp(self, stamp: Stamp) -> None:
+        return None

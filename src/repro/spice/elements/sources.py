@@ -1,0 +1,91 @@
+"""Independent sources.
+
+Values may be plain floats or callables of temperature (kelvin) — the
+latter models the paper's requirement of "an external current source that
+is not influenced by the temperature variation" versus the on-chip bias
+whose current *does* track temperature (eqs. 17-20 exist precisely
+because of that difference).
+
+Sign conventions follow SPICE: for both source types the positive current
+flows *through the source* from node ``npos`` to node ``nneg``.  A supply
+``VoltageSource("V1", "vdd", "0", 5.0)`` therefore reports a negative
+branch current when delivering power, and
+``CurrentSource("I1", "0", "out", 1e-3)`` pushes 1 mA into node ``out``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from ...errors import NetlistError
+from .base import Element, Stamp
+
+SourceValue = Union[float, Callable[[float], float]]
+
+
+def _evaluate(value: SourceValue, temperature_k: float) -> float:
+    if callable(value):
+        return float(value(temperature_k))
+    return float(value)
+
+
+class VoltageSource(Element):
+    """Independent voltage source with one branch-current unknown."""
+
+    branch_count = 1
+
+    def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
+        super().__init__(name, (npos, nneg))
+        self.dc = dc
+
+    def value_at(self, temperature_k: float) -> float:
+        return _evaluate(self.dc, temperature_k)
+
+    def stamp(self, stamp: Stamp) -> None:
+        a, b = self._node_idx
+        k = self.branch_index()
+        i = stamp.v(k)
+        # KCL: branch current leaves npos, enters nneg.
+        stamp.add_residual(a, i)
+        stamp.add_residual(b, -i)
+        stamp.add_jacobian(a, k, 1.0)
+        stamp.add_jacobian(b, k, -1.0)
+        # Branch equation: v(npos) - v(nneg) = scaled source value.
+        target = self.value_at(self.device_temperature(stamp)) * stamp.source_scale
+        stamp.add_residual(k, stamp.v(a) - stamp.v(b) - target)
+        stamp.add_jacobian(k, a, 1.0)
+        stamp.add_jacobian(k, b, -1.0)
+
+    def power(self, stamp: Stamp) -> float:
+        """Power *delivered* by the source [W] (positive when sourcing)."""
+        a, b = self._node_idx
+        i = stamp.v(self.branch_index())
+        return -(stamp.v(a) - stamp.v(b)) * i
+
+
+class CurrentSource(Element):
+    """Independent current source (no extra unknowns)."""
+
+    def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
+        super().__init__(name, (npos, nneg))
+        self.dc = dc
+
+    def value_at(self, temperature_k: float) -> float:
+        return _evaluate(self.dc, temperature_k)
+
+    def stamp(self, stamp: Stamp) -> None:
+        value = self.value_at(self.device_temperature(stamp)) * stamp.source_scale
+        a, b = self._node_idx
+        # Current leaves npos (into the source) and is delivered to nneg.
+        stamp.add_residual(a, value)
+        stamp.add_residual(b, -value)
+
+    def power(self, stamp: Stamp) -> float:
+        """Power delivered by the source [W] (positive when sourcing).
+
+        The internal current flows npos -> nneg, so the source delivers
+        ``I * (v(nneg) - v(npos))`` to the external circuit.
+        """
+        a, b = self._node_idx
+        value = self.value_at(self.device_temperature(stamp))
+        return value * (stamp.v(b) - stamp.v(a))

@@ -1,0 +1,122 @@
+"""Circuit container and node bookkeeping.
+
+A :class:`Circuit` is an ordered collection of elements connected at
+named nodes.  Node ``"0"`` (alias ``"gnd"``) is the ground reference and
+is excluded from the unknown vector.  Unknown ordering is: node voltages
+first (in registration order), then one branch current per voltage-defined
+element row (V sources, VCVS, op-amp outputs), in element order — the
+classic MNA layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import NetlistError
+
+#: Canonical ground node name.
+GROUND = "0"
+
+#: Accepted aliases for the ground node.
+_GROUND_ALIASES = frozenset({"0", "gnd", "GND", "ground"})
+
+
+def is_ground(node: str) -> bool:
+    """True if ``node`` names the ground reference."""
+    return node in _GROUND_ALIASES
+
+
+class Circuit:
+    """A netlist: elements connected at named nodes.
+
+    Elements are added with :meth:`add` (or the convenience of simply
+    constructing them with the circuit as first argument — see the
+    element classes).  The circuit is passive data; assembly and solving
+    live in :mod:`repro.spice.mna` / :mod:`repro.spice.solver`.
+    """
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._elements: List = []
+        self._element_names: Dict[str, int] = {}
+        self._node_order: List[str] = []
+        self._node_seen: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, element) -> "Circuit":
+        """Register an element; returns self for chaining."""
+        name = element.name
+        if not name:
+            raise NetlistError("elements must have a non-empty name")
+        if name in self._element_names:
+            raise NetlistError(f"duplicate element name {name!r}")
+        for node in element.nodes:
+            self._register_node(node)
+        self._element_names[name] = len(self._elements)
+        self._elements.append(element)
+        return self
+
+    def _register_node(self, node: str) -> None:
+        if not isinstance(node, str) or not node:
+            raise NetlistError(f"invalid node name {node!r}")
+        if is_ground(node):
+            return
+        if node not in self._node_seen:
+            self._node_seen.add(node)
+            self._node_order.append(node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> List:
+        return list(self._elements)
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground nodes in registration order."""
+        return list(self._node_order)
+
+    def element(self, name: str):
+        """Look up an element by name (raises NetlistError if absent)."""
+        try:
+            return self._elements[self._element_names[name]]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def has_element(self, name: str) -> bool:
+        return name in self._element_names
+
+    def node_index(self, node: str) -> int:
+        """Index of a node in the unknown vector; -1 for ground."""
+        if is_ground(node):
+            return -1
+        try:
+            return self._node_order.index(node)
+        except ValueError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def validate(self) -> None:
+        """Structural sanity checks before assembly.
+
+        Raises :class:`NetlistError` if the circuit has no elements or no
+        ground reference — both guarantee a singular MNA matrix.
+        """
+        if not self._elements:
+            raise NetlistError("empty circuit")
+        grounded = any(
+            is_ground(node) for el in self._elements for node in el.nodes
+        )
+        if not grounded:
+            raise NetlistError("no element is connected to ground")
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.title!r}, {len(self._elements)} elements, "
+            f"{len(self._node_order)} nodes)"
+        )

@@ -1,0 +1,264 @@
+"""SPICE-flavoured netlist text parser.
+
+Supports the subset the library's circuits need::
+
+    * comment lines and trailing comments ($ or ;)
+    .title My circuit
+    .model QMOD PNP (IS=1.2e-17 BF=80 EG=1.1324 XTI=3.4616)
+    .model DMOD D (IS=1e-15 N=1)
+    R1 a b 2k tc1=2e-3
+    C1 a 0 10p
+    V1 vdd 0 5
+    I1 0 bias 10u
+    E1 out 0 p n 1000
+    G1 out 0 p n 1m
+    F1 0 out V1 2      ; CCCS sensing V1's branch current
+    H1 out 0 V1 500    ; CCVS sensing V1's branch current
+    D1 a 0 DMOD
+    Q1 c b e QMOD
+    A1 inp inn out gain=1e4 vos=1m rail_high=5
+
+Continuation lines start with ``+``.  Numbers accept SPICE suffixes
+(``k``, ``meg``, ``u``, ``n``...).  ``Q`` lines expand series resistances
+into internal nodes via :func:`repro.spice.elements.bjt.add_bjt`, exactly
+like the programmatic API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..bjt.parameters import BJTParameters
+from ..errors import NetlistError
+from ..units import parse_si
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    OpAmp,
+    Resistor,
+    VCCS,
+    VCVS,
+)
+from .elements.bjt import add_bjt
+from .elements.sources import VoltageSource
+from .netlist import Circuit
+
+#: .model BJT keyword -> BJTParameters field.
+_BJT_FIELDS = {
+    "IS": "is_",
+    "BF": "bf",
+    "BR": "br",
+    "NF": "nf",
+    "NR": "nr",
+    "ISE": "ise",
+    "NE": "ne",
+    "VAF": "vaf",
+    "VAR": "var",
+    "IKF": "ikf",
+    "RB": "rb",
+    "RE": "re",
+    "RC": "rc",
+    "EG": "eg",
+    "XTI": "xti",
+    "XTB": "xtb",
+    "TNOM": "tnom",
+    "AREA": "area",
+}
+
+_DIODE_FIELDS = {"IS": "is_", "N": "n", "EG": "eg", "XTI": "xti", "TNOM": "tnom"}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "$"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _join_continuations(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        stripped = _strip_comment(raw)
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise NetlistError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped[1:].strip()
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def _split_kwargs(tokens: List[str]) -> Tuple[List[str], Dict[str, float]]:
+    """Separate positional tokens from key=value tokens."""
+    positional: List[str] = []
+    keywords: Dict[str, float] = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            if not key or not value:
+                raise NetlistError(f"malformed parameter {token!r}")
+            keywords[key.lower()] = parse_si(value)
+        else:
+            positional.append(token)
+    return positional, keywords
+
+
+def _parse_model(line: str) -> Tuple[str, str, Dict[str, float]]:
+    """Parse ``.model NAME KIND (K=V ...)`` -> (name, kind, params)."""
+    body = line[len(".model"):].strip()
+    cleaned = body.replace("(", " ").replace(")", " ")
+    tokens = cleaned.split()
+    if len(tokens) < 2:
+        raise NetlistError(f"malformed .model line: {line!r}")
+    name, kind = tokens[0], tokens[1].upper()
+    params: Dict[str, float] = {}
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise NetlistError(f".model parameter without '=': {token!r}")
+        key, _, value = token.partition("=")
+        params[key.upper()] = parse_si(value)
+    return name, kind, params
+
+
+def _bjt_params_from_model(kind: str, raw: Dict[str, float], name: str) -> BJTParameters:
+    fields = {"polarity": kind.lower(), "name": name}
+    for key, value in raw.items():
+        field = _BJT_FIELDS.get(key)
+        if field is None:
+            raise NetlistError(f"unknown BJT model parameter {key!r}")
+        fields[field] = value
+    return BJTParameters(**fields)
+
+
+def parse_netlist(text: str, title: str = "") -> Circuit:
+    """Parse netlist text into a :class:`Circuit`."""
+    lines = _join_continuations(text)
+    circuit = Circuit(title=title)
+    models_bjt: Dict[str, BJTParameters] = {}
+    models_diode: Dict[str, Dict[str, float]] = {}
+    deferred: List[List[str]] = []
+
+    # First pass: collect models and directives so device lines can
+    # reference models defined later in the file.
+    for line in lines:
+        lower = line.lower()
+        if lower.startswith(".model"):
+            name, kind, params = _parse_model(line)
+            if kind in ("NPN", "PNP"):
+                models_bjt[name] = _bjt_params_from_model(kind, params, name)
+            elif kind == "D":
+                fields = {}
+                for key, value in params.items():
+                    field = _DIODE_FIELDS.get(key)
+                    if field is None:
+                        raise NetlistError(f"unknown diode model parameter {key!r}")
+                    fields[field] = value
+                models_diode[name] = fields
+            else:
+                raise NetlistError(f"unsupported model kind {kind!r}")
+        elif lower.startswith(".title"):
+            circuit.title = line[len(".title"):].strip()
+        elif lower.startswith(".end"):
+            break
+        elif lower.startswith("."):
+            raise NetlistError(f"unsupported directive: {line.split()[0]!r}")
+        else:
+            deferred.append(line.split())
+
+    for tokens in deferred:
+        _add_element(circuit, tokens, models_bjt, models_diode)
+    return circuit
+
+
+def _add_element(
+    circuit: Circuit,
+    tokens: List[str],
+    models_bjt: Dict[str, BJTParameters],
+    models_diode: Dict[str, Dict[str, float]],
+) -> None:
+    name = tokens[0]
+    kind = name[0].upper()
+    positional, keywords = _split_kwargs(tokens[1:])
+
+    if kind == "R":
+        if len(positional) != 3:
+            raise NetlistError(f"resistor {name}: expected 'R n1 n2 value'")
+        circuit.add(
+            Resistor(name, positional[0], positional[1], parse_si(positional[2]),
+                     tc1=keywords.get("tc1", 0.0), tc2=keywords.get("tc2", 0.0))
+        )
+    elif kind == "C":
+        if len(positional) != 3:
+            raise NetlistError(f"capacitor {name}: expected 'C n1 n2 value'")
+        circuit.add(Capacitor(name, positional[0], positional[1], parse_si(positional[2])))
+    elif kind == "V":
+        values = [t for t in positional[2:] if t.lower() != "dc"]
+        if len(positional) < 3 or not values:
+            raise NetlistError(f"source {name}: expected 'V n+ n- value'")
+        circuit.add(VoltageSource(name, positional[0], positional[1], parse_si(values[0])))
+    elif kind == "I":
+        values = [t for t in positional[2:] if t.lower() != "dc"]
+        if len(positional) < 3 or not values:
+            raise NetlistError(f"source {name}: expected 'I n+ n- value'")
+        circuit.add(CurrentSource(name, positional[0], positional[1], parse_si(values[0])))
+    elif kind == "E":
+        if len(positional) != 5:
+            raise NetlistError(f"VCVS {name}: expected 'E out+ out- c+ c- gain'")
+        circuit.add(VCVS(name, *positional[:4], gain=parse_si(positional[4])))
+    elif kind == "G":
+        if len(positional) != 5:
+            raise NetlistError(f"VCCS {name}: expected 'G out+ out- c+ c- gm'")
+        circuit.add(VCCS(name, *positional[:4], gm=parse_si(positional[4])))
+    elif kind in ("F", "H"):
+        label = "CCCS" if kind == "F" else "CCVS"
+        if len(positional) != 4:
+            raise NetlistError(
+                f"{label} {name}: expected '{kind} out+ out- VSENSE value'"
+            )
+        if not circuit.has_element(positional[2]):
+            raise NetlistError(
+                f"{label} {name}: sense element {positional[2]!r} must be "
+                "defined earlier in the netlist"
+            )
+        sensed = circuit.element(positional[2])
+        from .elements.controlled import CCCS, CCVS
+
+        value = parse_si(positional[3])
+        if kind == "F":
+            circuit.add(CCCS(name, positional[0], positional[1], sensed, gain=value))
+        else:
+            circuit.add(CCVS(name, positional[0], positional[1], sensed, r=value))
+    elif kind == "D":
+        if len(positional) != 3:
+            raise NetlistError(f"diode {name}: expected 'D anode cathode model'")
+        model = models_diode.get(positional[2])
+        if model is None:
+            raise NetlistError(f"diode {name}: unknown model {positional[2]!r}")
+        circuit.add(Diode(name, positional[0], positional[1], **model))
+    elif kind == "Q":
+        if len(positional) != 4:
+            raise NetlistError(f"BJT {name}: expected 'Q c b e model'")
+        params = models_bjt.get(positional[3])
+        if params is None:
+            raise NetlistError(f"BJT {name}: unknown model {positional[3]!r}")
+        add_bjt(circuit, name, positional[0], positional[1], positional[2], params)
+    elif kind == "A":
+        if len(positional) != 3:
+            raise NetlistError(f"opamp {name}: expected 'A inp inn out [k=v...]'")
+        circuit.add(
+            OpAmp(
+                name,
+                positional[0],
+                positional[1],
+                positional[2],
+                gain=keywords.get("gain", 1e4),
+                vos=keywords.get("vos", 0.0),
+                rail_low=keywords.get("rail_low", 0.0),
+                rail_high=keywords.get("rail_high", 5.0),
+            )
+        )
+    else:
+        raise NetlistError(f"unsupported element type {name!r}")

@@ -1,0 +1,216 @@
+"""Damped Newton-Raphson DC solver with gmin and source stepping.
+
+Strategy (mirrors what production SPICE engines do, scaled down):
+
+1. plain damped Newton from the supplied initial point (zeros if none);
+2. on failure, **gain stepping**: ramp every op-amp's open-loop gain
+   from ~unity to its final value (a low-gain loop is barely nonlinear;
+   the solution trajectory in gain is smooth), warm-starting each stage
+   — this is what makes the bandgap cell's stiff feedback loop routine;
+3. on failure, **gmin stepping**: converge with a large gmin (1e-3 S from
+   every node to ground makes the system nearly linear), then tighten
+   gmin decade by decade, warm-starting each stage;
+4. on failure, **source stepping**: ramp all independent sources from 0
+   to 100 % (the zero-source circuit converges trivially), warm-starting
+   each step.
+
+Damping is two-fold: the Newton step is scaled so no unknown moves more
+than ``max_step_v`` per iteration (the guard against the junction
+exponential catapulting the iterate), and a backtracking line search
+halves the step until the residual norm actually decreases (the guard
+against rail-to-rail oscillation in stiff op-amp loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import MNASystem
+from .netlist import Circuit
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Tunable solver knobs (defaults handle every circuit in the repo)."""
+
+    max_iterations: int = 150
+    #: KCL residual tolerance [A] (node rows).
+    abstol: float = 1e-12
+    #: Branch-equation residual tolerance [V] (voltage-defined rows).
+    #: Branch rows are in volts and, for op-amp macros, carry the input
+    #: subtraction noise amplified by the open-loop gain — float64 cannot
+    #: push them below ~gain * 1e-16 V, hence the looser tolerance.
+    vtol: float = 1e-8
+    #: Step-size tolerance [V / A].
+    xtol: float = 1e-10
+    #: Final gmin from every node to ground [S].
+    gmin: float = 1e-12
+    #: Per-iteration cap on the largest unknown update [V].
+    max_step_v: float = 0.5
+    #: gmin ladder for stepping (descending).
+    gmin_ladder: Sequence[float] = (1e-3, 1e-5, 1e-7, 1e-9, 1e-12)
+    #: Source-stepping ramp.
+    source_ramp: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+    #: Gain-stepping ratio for op-amp macro-models.  The loop is solved
+    #: at gain 1 and the gain multiplied by this ratio per stage.  The
+    #: equilibrium tanh argument is gain-independent, so a warm start at
+    #: the next stage sits at ``ratio * arg*``; ratios beyond ~e saturate
+    #: the tanh and strand Newton, hence the gentle default.
+    gain_ramp_ratio: float = 2.0
+
+
+@dataclass
+class RawSolution:
+    """Solver output: the unknown vector plus diagnostics."""
+
+    x: np.ndarray
+    iterations: int
+    residual: float
+    strategy: str = "newton"
+
+
+def _newton(
+    system: MNASystem,
+    x0: np.ndarray,
+    options: SolverOptions,
+    gmin: float,
+    source_scale: float,
+) -> Optional[RawSolution]:
+    """One damped Newton run; None if it does not converge."""
+    x = x0.copy()
+    n_nodes = system.n_nodes
+
+    def converged(residual: np.ndarray) -> bool:
+        kcl = float(np.max(np.abs(residual[:n_nodes]))) if n_nodes else 0.0
+        branch = (
+            float(np.max(np.abs(residual[n_nodes:])))
+            if residual.size > n_nodes
+            else 0.0
+        )
+        return kcl < options.abstol and branch < options.vtol
+
+    for iteration in range(1, options.max_iterations + 1):
+        jacobian, residual = system.assemble(x, gmin=gmin, source_scale=source_scale)
+        norm = float(np.max(np.abs(residual)))
+        if converged(residual):
+            # The residual of *this* iterate is converged; return it.
+            return RawSolution(x=x, iterations=iteration, residual=norm)
+        try:
+            step = np.linalg.solve(jacobian, residual)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(step)):
+            return None
+        max_step = float(np.max(np.abs(step))) if step.size else 0.0
+        clamp = 1.0 if max_step <= options.max_step_v else options.max_step_v / max_step
+        # Backtracking line search over a damping ladder: the full Newton
+        # step first (solves linear and mildly nonlinear systems in one
+        # go), then the max_step_v clamp (junction guard), then halvings.
+        # A candidate is accepted as soon as the residual norm decreases;
+        # Newton's direction is a descent direction for |F|, so some
+        # scale improves unless we are at a stationary point.
+        ladder = [1.0] if clamp == 1.0 else [1.0, clamp]
+        ladder += [clamp * 0.5**k for k in range(1, 12)]
+        accepted = None
+        for damping in ladder:
+            candidate = x - damping * step
+            _, trial_residual = system.assemble(
+                candidate, gmin=gmin, source_scale=source_scale
+            )
+            trial_norm = float(np.max(np.abs(trial_residual)))
+            if trial_norm < norm:
+                accepted = candidate
+                break
+        x = accepted if accepted is not None else x - ladder[-1] * step
+    return None
+
+
+def _gain_stepping(
+    system: MNASystem,
+    circuit: Circuit,
+    start: np.ndarray,
+    options: SolverOptions,
+) -> Optional[RawSolution]:
+    """Ramp op-amp open-loop gains from ~1 to final, warm-starting."""
+    from .elements.opamp import OpAmp
+
+    amps = [el for el in circuit.elements if isinstance(el, OpAmp)]
+    if not amps:
+        return None
+    final_gains = [amp.gain for amp in amps]
+    max_gain = max(final_gains)
+    x = start.copy()
+    try:
+        gain = 1.0
+        while gain < max_gain:
+            for amp, final in zip(amps, final_gains):
+                amp.gain = min(final, gain)
+            stage = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+            if stage is None:
+                return None
+            x = stage.x
+            gain *= options.gain_ramp_ratio
+    finally:
+        for amp, final in zip(amps, final_gains):
+            amp.gain = final
+    final_solution = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+    if final_solution is not None:
+        final_solution.strategy = "gain-stepping"
+    return final_solution
+
+
+def solve_dc(
+    circuit: Circuit,
+    temperature_k: float = 300.15,
+    options: Optional[SolverOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> RawSolution:
+    """Solve the DC operating point; raises ConvergenceError on failure."""
+    options = options or SolverOptions()
+    system = MNASystem(circuit, temperature_k=temperature_k)
+    start = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float).copy()
+    if start.shape != (system.size,):
+        raise ConvergenceError(
+            f"initial point has {start.shape} unknowns, circuit needs {system.size}"
+        )
+
+    solution = _newton(system, start, options, gmin=options.gmin, source_scale=1.0)
+    if solution is not None:
+        return solution
+
+    # Gain stepping (only useful when op-amp macros are present).
+    solution = _gain_stepping(system, circuit, start, options)
+    if solution is not None:
+        return solution
+
+    # gmin stepping.
+    x = start.copy()
+    failed = False
+    for gmin in options.gmin_ladder:
+        stage = _newton(system, x, options, gmin=gmin, source_scale=1.0)
+        if stage is None:
+            failed = True
+            break
+        x = stage.x
+    if not failed:
+        final = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+        if final is not None:
+            final.strategy = "gmin-stepping"
+            return final
+
+    # Source stepping.
+    x = np.zeros(system.size)
+    for scale in options.source_ramp:
+        stage = _newton(system, x, options, gmin=options.gmin, source_scale=scale)
+        if stage is None:
+            raise ConvergenceError(
+                f"DC solve failed (source stepping stalled at {scale:.0%}) "
+                f"for circuit {circuit.title!r} at {temperature_k:.2f} K"
+            )
+        x = stage.x
+    stage.strategy = "source-stepping"
+    return stage

@@ -1,0 +1,97 @@
+"""Tests for the TC metrics and the fit confidence ellipse."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.curvature import vref_temperature_coefficient
+from repro.circuits import BandgapCellConfig, BehaviouralBandgap, Sub1VBandgap, Sub1VConfig
+from repro.errors import ReproError
+from repro.units import celsius_to_kelvin
+
+TEMPS_K = [celsius_to_kelvin(t) for t in range(-55, 146, 20)]
+
+
+class TestTemperatureCoefficient:
+    def test_flat_curve(self):
+        tc = vref_temperature_coefficient([250.0, 300.0, 350.0], [1.2, 1.2, 1.2])
+        assert tc.tc_ppm_per_k == 0.0
+        assert tc.span_mv == 0.0
+
+    def test_linear_curve(self):
+        temps = np.array([250.0, 300.0, 350.0])
+        vref = 1.2 + 1e-4 * (temps - 300.0)
+        tc = vref_temperature_coefficient(temps, vref)
+        # span 10 mV over 100 K at 1.2 V -> 83 ppm/K.
+        assert tc.tc_ppm_per_k == pytest.approx(83.3, rel=0.01)
+
+    def test_trimmed_bandgap_class(self):
+        bandgap = BehaviouralBandgap(BandgapCellConfig(substrate_unit=None))
+        vref = [bandgap.vref(t) for t in TEMPS_K]
+        tc = vref_temperature_coefficient(TEMPS_K, vref)
+        # The ideal cell sits in the double-digit ppm/K class.
+        assert tc.tc_ppm_per_k < 120.0
+        assert 1.2 < tc.mean_v < 1.26
+
+    def test_sub1v_clean_is_tight(self):
+        bandgap = Sub1VBandgap(Sub1VConfig(substrate_unit=None))
+        vref = [bandgap.vref(t) for t in TEMPS_K]
+        tc = vref_temperature_coefficient(TEMPS_K, vref)
+        assert tc.tc_ppm_per_k < 30.0
+
+    def test_peak_location_of_bell(self):
+        temps = np.linspace(250.0, 400.0, 16)
+        vref = 1.2 - 1e-7 * (temps - 320.0) ** 2
+        tc = vref_temperature_coefficient(temps, vref)
+        assert tc.peak_temperature_k == pytest.approx(320.0, abs=10.0)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ReproError):
+            vref_temperature_coefficient([300.0, 300.0, 300.0], [1.2, 1.2, 1.2])
+        with pytest.raises(ReproError):
+            vref_temperature_coefficient([300.0, 310.0], [1.2, 1.2])
+
+
+class TestConfidenceEllipse:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        from repro.bjt import BJTParameters, GummelPoonModel
+        from repro.extraction import fit_vbe_characteristic
+
+        model = GummelPoonModel(
+            BJTParameters(var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+                          ise=0.0, rb=0.0, re=0.0, rc=0.0)
+        )
+        rng = np.random.default_rng(1)
+        temps = np.linspace(223.15, 398.15, 8)
+        vbes = np.array([model.vbe_for_ic(1e-6, t) for t in temps])
+        vbes = vbes + rng.normal(0.0, 20e-6, size=vbes.shape)
+        return fit_vbe_characteristic(temps, vbes)
+
+    def test_ellipse_is_a_sliver(self, fit):
+        width, height, _ = fit.confidence_ellipse()
+        # The EG-XTI correlation squeezes the ellipse: aspect >> 1.
+        assert width / max(height, 1e-30) > 10.0
+
+    def test_scales_with_sigma(self, fit):
+        w1, h1, a1 = fit.confidence_ellipse(1.0)
+        w3, h3, a3 = fit.confidence_ellipse(3.0)
+        assert w3 == pytest.approx(3.0 * w1, rel=1e-9)
+        assert h3 == pytest.approx(3.0 * h1, rel=1e-9)
+        assert a3 == pytest.approx(a1, abs=1e-12)
+
+    def test_major_axis_tracks_characteristic_slope(self, fit):
+        # The ellipse's major axis direction dEG/dXTI matches the
+        # characteristic straight's slope (same geometry, ~-27 meV/XTI
+        # for this temperature window).  The angle is measured from the
+        # EG axis, so the slope along the axis is the cotangent.
+        width, height, angle = fit.confidence_ellipse()
+        slope = 1.0 / math.tan(angle)  # dEG per dXTI along the major axis
+        assert -0.032 < slope < -0.018
+
+    def test_rejects_bad_sigma(self, fit):
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            fit.confidence_ellipse(0.0)

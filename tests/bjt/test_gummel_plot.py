@@ -1,0 +1,105 @@
+"""Tests for Gummel sweeps (paper Fig. 5 raw material)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.bjt.gummel_plot import GummelSweep, gummel_family, gummel_sweep
+from repro.bjt.model import GummelPoonModel
+from repro.bjt.parameters import BJTParameters
+from repro.units import celsius_to_kelvin
+
+PAPER_TEMPS_C = [-50.88, -25.47, -0.07, 27.36, 50.74, 76.13, 101.6, 126.9]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GummelPoonModel(BJTParameters())
+
+
+@pytest.fixture(scope="module")
+def sweep(model):
+    return gummel_sweep(model, 300.0)
+
+
+class TestGummelSweep:
+    def test_default_axis_matches_fig5(self, sweep):
+        assert sweep.vbe[0] == pytest.approx(0.1)
+        assert sweep.vbe[-1] == pytest.approx(1.3)
+
+    def test_currents_monotone(self, sweep):
+        assert np.all(np.diff(sweep.ic) > 0.0)
+        assert np.all(np.diff(sweep.ib) > 0.0)
+
+    def test_ic_above_ib_in_active_region(self, sweep):
+        active = (sweep.vbe > 0.5) & (sweep.vbe < 0.9)
+        assert np.all(sweep.ic[active] > sweep.ib[active])
+
+    def test_rejects_degenerate_axis(self, model):
+        with pytest.raises(ModelError):
+            gummel_sweep(model, 300.0, vbe_start=0.5, vbe_stop=0.4)
+        with pytest.raises(ModelError):
+            gummel_sweep(model, 300.0, points=1)
+
+
+class TestVbeAtCurrent:
+    def test_interpolation_against_exact_inversion(self, model):
+        # Slicing the sweep at a constant current must agree with the
+        # exact terminal solve to well under a millivolt.
+        sweep_fine = gummel_sweep(model, 300.0, points=601)
+        v_sliced = sweep_fine.vbe_at_current(1e-6)
+        # Reference: root of terminal_currents around the slice.
+        from scipy.optimize import brentq
+
+        v_exact = brentq(
+            lambda v: model.terminal_currents(v, 300.0)[0] - 1e-6, 0.3, 0.9
+        )
+        assert v_sliced == pytest.approx(v_exact, abs=2e-5)
+
+    def test_out_of_range_raises(self, sweep):
+        with pytest.raises(ModelError):
+            sweep.vbe_at_current(1.0)
+
+    def test_rejects_nonpositive_target(self, sweep):
+        with pytest.raises(ModelError):
+            sweep.vbe_at_current(0.0)
+
+
+class TestFig5Family:
+    def test_family_size(self, model):
+        family = gummel_family(
+            model, [celsius_to_kelvin(t) for t in PAPER_TEMPS_C], points=61
+        )
+        assert len(family) == 8
+
+    def test_current_window_spans_paper_decades(self, model):
+        # Fig. 5 y-axis: 1e-14 to 1e-2 A across the temperature family.
+        family = gummel_family(
+            model, [celsius_to_kelvin(t) for t in PAPER_TEMPS_C], points=61
+        )
+        all_ic = np.concatenate([s.ic for s in family])
+        positive = all_ic[all_ic > 0.0]
+        assert positive.min() < 1e-13
+        assert positive.max() > 1e-3
+
+    def test_hotter_curves_sit_left(self, model):
+        # At fixed IC=1uA the hot curve needs less VBE (curves shift left
+        # with temperature, ~2 mV/K — visible ordering in Fig. 5).
+        family = gummel_family(
+            model,
+            [celsius_to_kelvin(t) for t in PAPER_TEMPS_C],
+            points=241,
+        )
+        slices = [s.vbe_at_current(1e-6) for s in family]
+        assert slices == sorted(slices, reverse=True)
+
+    def test_left_shift_magnitude(self, model):
+        family = gummel_family(
+            model,
+            [celsius_to_kelvin(-50.88), celsius_to_kelvin(126.9)],
+            points=241,
+        )
+        shift = family[0].vbe_at_current(1e-6) - family[1].vbe_at_current(1e-6)
+        span_k = celsius_to_kelvin(126.9) - celsius_to_kelvin(-50.88)
+        mv_per_k = 1000.0 * shift / span_k
+        assert 1.5 < mv_per_k < 2.5

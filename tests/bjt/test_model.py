@@ -1,0 +1,191 @@
+"""Tests for the DC Gummel-Poon model (paper eq. 1 and Fig. 5 behaviour)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import K_BOLTZMANN_EV
+from repro.errors import ModelError
+from repro.bjt.model import GummelPoonModel
+from repro.bjt.parameters import BJTParameters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GummelPoonModel(BJTParameters())
+
+
+@pytest.fixture(scope="module")
+def ideal_model():
+    """No Early effect, no high injection, no leakage, no resistance."""
+    return GummelPoonModel(
+        BJTParameters(
+            var=float("inf"),
+            vaf=float("inf"),
+            ikf=float("inf"),
+            ise=0.0,
+            rb=0.0,
+            re=0.0,
+            rc=0.0,
+        )
+    )
+
+
+class TestSaturationCurrentLaw:
+    def test_anchored_at_tnom(self, model):
+        assert model.is_at(model.params.tnom) == pytest.approx(model.params.is_)
+
+    def test_eq1_closed_form(self, model):
+        p = model.params
+        t = 350.0
+        expected = (
+            p.is_
+            * (t / p.tnom) ** p.xti
+            * math.exp((p.eg / K_BOLTZMANN_EV) * (1.0 / p.tnom - 1.0 / t))
+        )
+        assert model.is_at(t) == pytest.approx(expected, rel=1e-12)
+
+    @given(t=st.floats(min_value=210.0, max_value=430.0))
+    def test_monotonically_increasing(self, model, t):
+        assert model.is_at(t + 1.0) > model.is_at(t)
+
+    def test_rejects_nonpositive_temperature(self, model):
+        with pytest.raises(ModelError):
+            model.is_at(-10.0)
+
+    def test_sensitivity_near_20_percent_per_kelvin(self, model):
+        # Paper section 3 claim, evaluated at the cold end of the range.
+        assert model.is_sensitivity_percent_per_kelvin(250.0) == pytest.approx(
+            20.0, abs=4.0
+        )
+
+
+class TestCollectorCurrent:
+    def test_ideal_exponential(self, ideal_model):
+        t = 300.0
+        vt = ideal_model.vt(t)
+        ic = ideal_model.collector_current(0.6, t)
+        expected = ideal_model.is_at(t) * math.expm1(0.6 / vt)
+        assert ic == pytest.approx(expected, rel=1e-12)
+
+    def test_60mv_per_decade(self, ideal_model):
+        # The ideal slope at 300 K: one decade per VT*ln10 ~ 59.5 mV.
+        t = 300.0
+        decade = ideal_model.vt(t) * math.log(10.0)
+        ratio = ideal_model.collector_current(
+            0.6 + decade, t
+        ) / ideal_model.collector_current(0.6, t)
+        assert ratio == pytest.approx(10.0, rel=1e-6)
+
+    def test_early_effect_reduces_current(self, model, ideal_model):
+        # qb > 1 at forward bias when VAR is finite.
+        full = model.collector_current(0.6, 300.0)
+        p = model.params
+        bare = model.is_at(300.0) * math.expm1(0.6 / (p.nf * model.vt(300.0)))
+        assert full < bare
+
+    def test_high_injection_halves_slope(self, model):
+        # Far above IKF, IC ~ exp(vbe/2VT): doubling test across 120 mV.
+        t = 300.0
+        v1, v2 = 0.95, 0.95 + model.vt(t) * math.log(10.0) * 2.0
+        ratio = model.collector_current(v2, t) / model.collector_current(v1, t)
+        assert ratio < 100.0  # ideal would give 100x
+
+    def test_base_charge_collapse_raises(self, model):
+        with pytest.raises(ModelError):
+            model.collector_current(model.params.var * 1.01, 300.0)
+
+    def test_zero_bias_zero_current(self, model):
+        assert model.collector_current(0.0, 300.0) == pytest.approx(0.0, abs=1e-30)
+
+
+class TestBaseCurrent:
+    def test_leakage_dominates_at_low_bias(self, model):
+        # At low VBE the NE~1.8 leakage bends the IB curve above IC/BF.
+        t = 300.0
+        vbe = 0.30
+        ib = model.base_current(vbe, t)
+        ideal = model.is_at(t) * math.expm1(vbe / model.vt(t)) / model.bf_at(t)
+        assert ib > 2.0 * ideal
+
+    def test_ideal_region_beta(self, model):
+        t = 300.0
+        vbe = 0.65
+        beta = model.collector_current(vbe, t) / model.base_current(vbe, t)
+        assert 10.0 < beta <= model.params.bf * 1.5
+
+    def test_beta_temperature_dependence(self, model):
+        assert model.bf_at(350.0) > model.bf_at(300.0)
+
+
+class TestVbeInversion:
+    def test_round_trip(self, model):
+        t = 300.0
+        for ic in (1e-9, 1e-7, 1e-6, 1e-5):
+            vbe = model.vbe_for_ic(ic, t)
+            assert model.collector_current(vbe, t) == pytest.approx(ic, rel=1e-9)
+
+    @settings(max_examples=40)
+    @given(
+        log_ic=st.floats(min_value=-9.0, max_value=-4.5),
+        t=st.floats(min_value=220.0, max_value=420.0),
+    )
+    def test_round_trip_property(self, model, log_ic, t):
+        ic = 10.0**log_ic
+        vbe = model.vbe_for_ic(ic, t)
+        assert model.collector_current(vbe, t) == pytest.approx(ic, rel=1e-7)
+
+    def test_vbe_decreases_with_temperature(self, model):
+        # The classic ~ -2 mV/K CTAT behaviour.
+        v_cold = model.vbe_for_ic(1e-6, 250.0)
+        v_hot = model.vbe_for_ic(1e-6, 350.0)
+        assert v_cold > v_hot
+
+    def test_slope_near_minus_2mv_per_kelvin(self, model):
+        slope = model.vbe_temperature_slope(1e-6, 300.0)
+        assert -2.5e-3 < slope < -1.5e-3
+
+    def test_rejects_nonpositive_current(self, model):
+        with pytest.raises(ModelError):
+            model.vbe_for_ic(0.0, 300.0)
+
+    def test_unreachable_current_raises(self, model):
+        with pytest.raises(ModelError):
+            model.vbe_for_ic(1e6, 300.0)
+
+
+class TestTerminalCurrents:
+    def test_matches_junction_at_low_bias(self, model):
+        # Series drops are negligible at nA levels.
+        t = 300.0
+        ic_term, _ = model.terminal_currents(0.45, t)
+        ic_junction = model.collector_current(0.45, t)
+        assert ic_term == pytest.approx(ic_junction, rel=1e-3)
+
+    def test_resistive_rolloff_at_high_bias(self, ideal_model, model):
+        # With series resistance the same terminal voltage yields less
+        # current than the resistance-free device.
+        t = 300.0
+        with_r, _ = model.terminal_currents(1.1, t)
+        without_r = GummelPoonModel(
+            BJTParameters(rb=0.0, re=0.0, rc=0.0)
+        ).terminal_currents(1.1, t)[0]
+        assert with_r < without_r
+
+    def test_fig5_current_window(self, model):
+        # Paper Fig. 5: currents span ~1e-14 to ~1e-2 A over the sweep.
+        t_hot = 400.0
+        ic_top, _ = model.terminal_currents(1.3, t_hot)
+        assert 1e-3 < ic_top < 1e-1
+        t_cold = 222.3
+        ic_bot, _ = model.terminal_currents(0.35, t_cold)
+        assert ic_bot < 1e-11
+
+    def test_zero_for_nonpositive_bias(self, model):
+        assert model.terminal_currents(0.0, 300.0) == (0.0, 0.0)
+
+    def test_monotone_in_applied_voltage(self, model):
+        t = 330.0
+        currents = [model.terminal_currents(v, t)[0] for v in (0.3, 0.6, 0.9, 1.2)]
+        assert currents == sorted(currents)

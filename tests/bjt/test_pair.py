@@ -1,0 +1,136 @@
+"""Tests for the matched pair (paper Fig. 2 / eq. 16)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import thermal_voltage
+from repro.errors import ModelError
+from repro.bjt.pair import MatchedPair
+from repro.bjt.parameters import BJTParameters
+from repro.bjt.substrate import SubstratePNP
+
+
+def ideal_params():
+    """Device with every second-order effect disabled."""
+    return BJTParameters(
+        var=float("inf"),
+        vaf=float("inf"),
+        ikf=float("inf"),
+        ise=0.0,
+        rb=0.0,
+        re=0.0,
+        rc=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def ideal_pair():
+    return MatchedPair(base_params=ideal_params())
+
+
+class TestIdealPtat:
+    def test_delta_vbe_equals_vt_ln_p(self, ideal_pair):
+        # Paper eq. 16 premise: dVBE = (kT/q) ln p for the ideal pair.  The
+        # only residual is the physical "-1" saturation term of the diode
+        # law, which stays below a few uV over the measurement range.
+        for t in (247.0, 297.0, 348.0):
+            assert ideal_pair.delta_vbe(t, 1e-6) == pytest.approx(
+                ideal_pair.ideal_delta_vbe(t), abs=5e-6
+            )
+
+    def test_value_at_297k(self, ideal_pair):
+        # (k*297/q)*ln 8 = 53.2 mV — the paper's dVBE scale.
+        assert ideal_pair.ideal_delta_vbe(297.0) == pytest.approx(53.2e-3, abs=0.2e-3)
+
+    def test_independent_of_bias_current(self, ideal_pair):
+        t = 300.0
+        assert ideal_pair.delta_vbe(t, 1e-7) == pytest.approx(
+            ideal_pair.delta_vbe(t, 1e-5), rel=1e-9
+        )
+
+    @settings(max_examples=30)
+    @given(t=st.floats(min_value=220.0, max_value=420.0))
+    def test_ptat_linearity_property(self, ideal_pair, t):
+        # dVBE(T)/T is a temperature-independent constant (to within the
+        # uV-level "-1" saturation residual at the hot end).
+        ratio = ideal_pair.delta_vbe(t, 1e-6) / t
+        ref = ideal_pair.delta_vbe(300.0, 1e-6) / 300.0
+        assert ratio == pytest.approx(ref, rel=1e-4)
+
+    def test_temperature_from_ratio_roundtrip(self, ideal_pair):
+        # Eq. 16: T1 = T2 * dVBE(T1)/dVBE(T2) recovers T1 to the mK level.
+        t1, t2 = 247.0, 297.0
+        d1 = ideal_pair.delta_vbe(t1, 1e-6)
+        d2 = ideal_pair.delta_vbe(t2, 1e-6)
+        assert t2 * d1 / d2 == pytest.approx(t1, abs=1e-3)
+
+
+class TestNonIdealities:
+    def test_unequal_currents_shift_delta_vbe(self, ideal_pair):
+        # Eq. 17: a current imbalance adds VT*ln(I_A/I_B).
+        t = 300.0
+        base = ideal_pair.delta_vbe(t, 1e-6)
+        shifted = ideal_pair.delta_vbe(t, 1e-6, current_b=2e-6)
+        assert shifted - base == pytest.approx(
+            -thermal_voltage(t) * math.log(2.0), rel=1e-6
+        )
+
+    def test_is_mismatch_shifts_delta_vbe(self):
+        t = 300.0
+        matched = MatchedPair(base_params=ideal_params(), is_mismatch=1.0)
+        off = MatchedPair(base_params=ideal_params(), is_mismatch=1.02)
+        delta = off.delta_vbe(t, 1e-6) - matched.delta_vbe(t, 1e-6)
+        assert delta == pytest.approx(thermal_voltage(t) * math.log(1.02), rel=1e-6)
+
+    def test_substrate_leakage_bends_ptat(self):
+        leaky = MatchedPair(
+            base_params=ideal_params(),
+            substrate_a=SubstratePNP(area=1.0),
+            substrate_b=SubstratePNP(area=8.0),
+        )
+        t_hot = 400.0
+        bend = leaky.delta_vbe_nonideality(t_hot, 1e-6, vce_headroom=0.0)
+        # QB loses more current than QA -> VBE_B rises less... QB's junction
+        # current drops -> VBE_B smaller -> dVBE larger than ideal.
+        assert bend > 0.0
+
+    def test_leakage_negligible_with_headroom(self):
+        leaky = MatchedPair(
+            base_params=ideal_params(),
+            substrate_a=SubstratePNP(area=1.0),
+            substrate_b=SubstratePNP(area=8.0),
+        )
+        # Only the sub-uV "-1" saturation residual remains.
+        assert leaky.delta_vbe_nonideality(400.0, 1e-6, vce_headroom=1.0) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_excess_leakage_raises(self):
+        leaky = MatchedPair(
+            base_params=ideal_params(),
+            substrate_b=SubstratePNP(area=8.0, i_leak_ref=1.0),
+        )
+        with pytest.raises(ModelError):
+            leaky.delta_vbe(400.0, 1e-9, vce_headroom=0.0)
+
+
+class TestConstruction:
+    def test_rejects_unit_area_ratio(self):
+        with pytest.raises(ModelError):
+            MatchedPair(area_ratio=1.0)
+
+    def test_rejects_bad_mismatch(self):
+        with pytest.raises(ModelError):
+            MatchedPair(is_mismatch=0.0)
+
+    def test_rejects_nonpositive_bias(self, ideal_pair):
+        with pytest.raises(ModelError):
+            ideal_pair.delta_vbe(300.0, 0.0)
+        with pytest.raises(ModelError):
+            ideal_pair.delta_vbe(300.0, 1e-6, current_b=-1e-6)
+
+    def test_qb_is_area_scaled_qa(self):
+        pair = MatchedPair(area_ratio=8.0)
+        assert pair.qb.params.is_ == pytest.approx(8.0 * pair.qa.params.is_)

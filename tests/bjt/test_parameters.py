@@ -1,0 +1,95 @@
+"""Tests for the BJT parameter sets and area scaling."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.bjt.parameters import BJTParameters, PAPER_PNP_LARGE, PAPER_PNP_SMALL
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        BJTParameters()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("is_", 0.0),
+            ("is_", -1e-18),
+            ("ise", -1e-18),
+            ("bf", 0.0),
+            ("br", -1.0),
+            ("nf", 0.0),
+            ("ne", -1.8),
+            ("vaf", 0.0),
+            ("var", -8.0),
+            ("ikf", 0.0),
+            ("rb", -1.0),
+            ("eg", 0.3),
+            ("eg", 2.5),
+            ("xti", -5.0),
+            ("xti", 15.0),
+            ("area", 0.0),
+            ("tnom", -300.0),
+            ("polarity", "pppn"),
+        ],
+    )
+    def test_rejects_unphysical_values(self, field, value):
+        with pytest.raises(ModelError):
+            BJTParameters(**{field: value})
+
+    def test_infinite_early_voltages_allowed(self):
+        params = BJTParameters(vaf=float("inf"), var=float("inf"), ikf=float("inf"))
+        assert params.vaf == float("inf")
+
+
+class TestAreaScaling:
+    def test_currents_scale_up(self):
+        base = BJTParameters()
+        big = base.scaled(8.0)
+        assert big.is_ == pytest.approx(8.0 * base.is_)
+        assert big.ise == pytest.approx(8.0 * base.ise)
+        assert big.ikf == pytest.approx(8.0 * base.ikf)
+
+    def test_resistances_scale_down(self):
+        base = BJTParameters()
+        big = base.scaled(8.0)
+        assert big.rb == pytest.approx(base.rb / 8.0)
+        assert big.re == pytest.approx(base.re / 8.0)
+        assert big.rc == pytest.approx(base.rc / 8.0)
+
+    def test_temperature_parameters_unchanged(self):
+        base = BJTParameters()
+        big = base.scaled(8.0)
+        assert big.eg == base.eg
+        assert big.xti == base.xti
+
+    def test_area_multiplied(self):
+        assert BJTParameters(area=6.0).scaled(8.0).area == pytest.approx(48.0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ModelError):
+            BJTParameters().scaled(0.0)
+
+    def test_paper_devices(self):
+        # QA: 6 um^2; QB: 48 um^2 — the paper's emitter-area ratio of 8.
+        assert PAPER_PNP_SMALL.area == pytest.approx(6.0)
+        assert PAPER_PNP_LARGE.area == pytest.approx(48.0)
+        assert PAPER_PNP_LARGE.is_ / PAPER_PNP_SMALL.is_ == pytest.approx(8.0)
+
+
+class TestModelCard:
+    def test_contains_all_dc_fields(self):
+        card = BJTParameters().model_card()
+        for key in ("IS=", "BF=", "VAR=", "EG=", "XTI=", "TNOM="):
+            assert key in card
+
+    def test_polarity_rendered(self):
+        assert " PNP " in BJTParameters(polarity="pnp").model_card()
+        assert " NPN " in BJTParameters(polarity="npn").model_card()
+
+    def test_couple_swap(self):
+        swapped = BJTParameters().with_temperature_parameters(eg=1.2, xti=2.0)
+        assert swapped.eg == 1.2
+        assert swapped.xti == 2.0
+        # Everything else untouched.
+        assert swapped.is_ == BJTParameters().is_

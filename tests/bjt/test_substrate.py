@@ -1,0 +1,74 @@
+"""Tests for the parasitic substrate PNP leakage model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.bjt.substrate import SubstratePNP
+
+
+class TestSaturationDrive:
+    def test_fully_saturated(self):
+        assert SubstratePNP().saturation_drive(0.0) == 1.0
+        assert SubstratePNP().saturation_drive(-0.1) == 1.0
+
+    def test_off_with_headroom(self):
+        par = SubstratePNP(vsat_onset=0.3)
+        assert par.saturation_drive(0.3) == 0.0
+        assert par.saturation_drive(1.0) == 0.0
+
+    def test_linear_ramp(self):
+        par = SubstratePNP(vsat_onset=0.4)
+        assert par.saturation_drive(0.2) == pytest.approx(0.5)
+
+    @given(headroom=st.floats(min_value=-1.0, max_value=2.0))
+    def test_bounded(self, headroom):
+        drive = SubstratePNP().saturation_drive(headroom)
+        assert 0.0 <= drive <= 1.0
+
+
+class TestLeakageCurrent:
+    def test_grows_steeply_with_temperature(self):
+        par = SubstratePNP()
+        # The parasitic junction law roughly doubles every ~7 K near 380 K.
+        ratio = par.leakage_current(390.0) / par.leakage_current(380.0)
+        assert 2.0 < ratio < 4.0
+
+    def test_negligible_at_cold(self):
+        # At the Table-1 temperatures the leakage must be irrelevant
+        # compared to the ~mV offsets (this is why Table 1 is offset-
+        # dominated while Fig. 8 is leakage-dominated).
+        par = SubstratePNP(area=8.0)
+        assert par.leakage_current(297.0) < 1e-10
+
+    def test_microamp_scale_at_fig8_hot_end(self):
+        # ~0.1-10 uA at 418 K for the 8x device: the magnitude needed to
+        # produce the Fig. 8 VREF rise through the cell's gain.
+        par = SubstratePNP(area=8.0)
+        leak = par.leakage_current(418.15)
+        assert 1e-7 < leak < 1e-5
+
+    def test_area_scaling(self):
+        small = SubstratePNP(area=1.0)
+        big = small.scaled(8.0)
+        t = 400.0
+        assert big.leakage_current(t) == pytest.approx(
+            8.0 * small.leakage_current(t), rel=1e-12
+        )
+
+    def test_headroom_gates_leakage(self):
+        par = SubstratePNP()
+        assert par.leakage_current(400.0, vce_headroom=1.0) == 0.0
+        assert par.leakage_current(400.0, vce_headroom=0.0) > 0.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ModelError):
+            SubstratePNP(i_leak_ref=-1.0)
+        with pytest.raises(ModelError):
+            SubstratePNP(area=0.0)
+        with pytest.raises(ModelError):
+            SubstratePNP().scaled(-2.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ModelError):
+            SubstratePNP().leakage_current(0.0)

@@ -1,0 +1,116 @@
+"""Tests for the Fig. 2 biased pair."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bjt import BJTParameters, MatchedPair, SubstratePNP
+from repro.circuits.bias_pair import BiasedPair, BiasPairConfig
+from repro.constants import thermal_voltage
+from repro.errors import ModelError
+
+
+def ideal_pair():
+    params = BJTParameters(
+        var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+        ise=0.0, rb=0.0, re=0.0, rc=0.0,
+    )
+    return MatchedPair(base_params=params)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        BiasPairConfig()
+
+    def test_rejects_bad_current(self):
+        with pytest.raises(ModelError):
+            BiasPairConfig(collector_current_a=0.0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ModelError):
+            BiasPairConfig(current_ratio_b=-1.0)
+
+
+class TestCurrents:
+    def test_flat_external_source(self):
+        biased = BiasedPair(pair=ideal_pair(), config=BiasPairConfig(collector_current_a=1e-5))
+        assert biased.currents_at(250.0) == biased.currents_at(350.0) == (1e-5, 1e-5)
+
+    def test_temperature_law(self):
+        config = BiasPairConfig(current_law=lambda t: 1e-8 * t)
+        biased = BiasedPair(pair=ideal_pair(), config=config)
+        ia, ib = biased.currents_at(300.0)
+        assert ia == pytest.approx(3e-6)
+        assert ib == pytest.approx(3e-6)
+
+    def test_ratio_applied_to_qb(self):
+        config = BiasPairConfig(collector_current_a=1e-5, current_ratio_b=1.05)
+        biased = BiasedPair(pair=ideal_pair(), config=config)
+        ia, ib = biased.currents_at(300.0)
+        assert ib == pytest.approx(1.05 * ia)
+
+    def test_bad_law_raises(self):
+        config = BiasPairConfig(current_law=lambda t: -1.0)
+        with pytest.raises(ModelError):
+            BiasedPair(pair=ideal_pair(), config=config).currents_at(300.0)
+
+
+class TestDeltaVbe:
+    def test_ideal_is_ptat(self):
+        biased = BiasedPair(pair=ideal_pair())
+        for t in (250.0, 300.0, 350.0):
+            assert biased.true_delta_vbe(t) == pytest.approx(
+                thermal_voltage(t) * math.log(8.0), abs=5e-6
+            )
+
+    def test_offset_shifts_measurement_not_truth(self):
+        biased = BiasedPair(pair=ideal_pair(), delta_vbe_offset_v=4.5e-3)
+        t = 297.0
+        assert biased.measured_delta_vbe(t) - biased.true_delta_vbe(t) == pytest.approx(
+            4.5e-3
+        )
+
+    def test_vbe_individual_readouts(self):
+        biased = BiasedPair(pair=ideal_pair())
+        t = 300.0
+        assert biased.vbe_a(t) - biased.vbe_b(t) == pytest.approx(
+            biased.true_delta_vbe(t), rel=1e-9
+        )
+
+    def test_leakage_bends_hot_end(self):
+        params = BJTParameters(
+            var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+            ise=0.0, rb=0.0, re=0.0, rc=0.0,
+        )
+        pair = MatchedPair(
+            base_params=params,
+            substrate_a=SubstratePNP(area=1.0),
+            substrate_b=SubstratePNP(area=8.0),
+        )
+        biased = BiasedPair(pair=pair, config=BiasPairConfig(vce_headroom=0.0))
+        bend_hot = biased.true_delta_vbe(410.0) - thermal_voltage(410.0) * math.log(8.0)
+        bend_cold = biased.true_delta_vbe(260.0) - thermal_voltage(260.0) * math.log(8.0)
+        assert bend_hot > 10.0 * abs(bend_cold)
+        assert bend_hot > 0.0
+
+
+class TestCurrentRatioX:
+    def test_unity_for_shared_law(self):
+        # Both branches share the bias law -> X == 1 (paper's point that
+        # only *relative* drift between branches matters).
+        config = BiasPairConfig(current_law=lambda t: 1e-8 * t)
+        biased = BiasedPair(pair=ideal_pair(), config=config)
+        assert biased.current_ratio_x(273.15, 373.15) == pytest.approx(1.0, rel=1e-12)
+
+    def test_unity_for_flat_source(self):
+        biased = BiasedPair(pair=ideal_pair())
+        assert biased.current_ratio_x(250.0, 350.0) == pytest.approx(1.0, rel=1e-12)
+
+    def test_static_ratio_cancels(self):
+        # A temperature-independent current inequality also gives X = 1:
+        # eq. 19's correction only reacts to *temperature-dependent*
+        # imbalance.
+        config = BiasPairConfig(current_ratio_b=1.1)
+        biased = BiasedPair(pair=ideal_pair(), config=config)
+        assert biased.current_ratio_x(250.0, 350.0) == pytest.approx(1.0, rel=1e-12)

@@ -1,0 +1,105 @@
+"""Tests for the sub-1V current-mode reference (extension module)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.sub1v import Sub1VBandgap, Sub1VConfig
+from repro.errors import ModelError
+from repro.units import celsius_to_kelvin
+
+CLEAN = Sub1VConfig(substrate_unit=None)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return Sub1VBandgap(CLEAN)
+
+
+@pytest.fixture(scope="module")
+def leaky():
+    return Sub1VBandgap(Sub1VConfig())
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        Sub1VConfig()
+
+    def test_nominal_scale(self):
+        config = Sub1VConfig(r2=50e3, r3=25e3)
+        assert config.nominal_scale == pytest.approx(0.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ModelError):
+            Sub1VConfig(r1=0.0)
+        with pytest.raises(ModelError):
+            Sub1VConfig(area_ratio=1.0)
+        with pytest.raises(ModelError):
+            Sub1VConfig(substrate_drive=-0.1)
+
+
+class TestOutput:
+    def test_below_one_volt(self, clean):
+        for temp_c in (-55.0, 25.0, 145.0):
+            assert clean.vref(celsius_to_kelvin(temp_c)) < 1.0
+
+    def test_nominal_level(self, clean):
+        assert clean.vref(298.15) == pytest.approx(0.689, abs=0.01)
+
+    def test_flatness_of_clean_design(self, clean):
+        temps = [celsius_to_kelvin(t) for t in range(-55, 146, 20)]
+        values = np.array([clean.vref(t) for t in temps])
+        # ~20 ppm/K class over 200 K.
+        assert values.max() - values.min() < 5e-3
+
+    def test_leakage_raises_hot_end(self, clean, leaky):
+        t_hot = celsius_to_kelvin(145.0)
+        assert leaky.vref(t_hot) - clean.vref(t_hot) > 5e-3
+
+    def test_leakage_invisible_when_cold(self, clean, leaky):
+        t_cold = celsius_to_kelvin(-25.0)
+        assert leaky.vref(t_cold) == pytest.approx(clean.vref(t_cold), abs=1e-4)
+
+    def test_scaled_output_is_proportional(self, clean):
+        # VREF = R3 * I: rescaling R3 rescales the whole curve.
+        half = Sub1VBandgap(Sub1VConfig(substrate_unit=None, r3=CLEAN.r3 / 2.0))
+        for temp_c in (-25.0, 75.0):
+            t = celsius_to_kelvin(temp_c)
+            assert half.vref(t) == pytest.approx(clean.vref(t) / 2.0, rel=1e-9)
+
+
+class TestPtatCore:
+    def test_current_magnitude(self, clean):
+        current = clean.ptat_current(300.15)
+        assert 7e-6 < current < 12e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(t=st.floats(min_value=230.0, max_value=400.0))
+    def test_current_satisfies_loop_equation(self, clean, t):
+        current = clean.ptat_current(t)
+        r1 = clean._resistance(clean.config.r1, t)
+        dvbe = clean._pair.qa.vbe_for_ic(current, t) - clean._pair.qb.vbe_for_ic(
+            current, t
+        )
+        assert current == pytest.approx(dvbe / r1, rel=1e-9)
+
+    def test_vbe_is_ctat(self, clean):
+        assert clean.vbe(250.0) > clean.vbe(350.0)
+
+
+class TestRetargeting:
+    def test_scaled_to_600mv(self, leaky):
+        retargeted = leaky.scaled_to(0.600)
+        assert retargeted.vref(300.15) == pytest.approx(0.600, abs=1e-3)
+
+    def test_scaled_to_preserves_shape(self, clean):
+        retargeted = clean.scaled_to(0.5)
+        temps = [celsius_to_kelvin(t) for t in (-55, 25, 105)]
+        original = np.array([clean.vref(t) for t in temps])
+        scaled = np.array([retargeted.vref(t) for t in temps])
+        ratio = scaled / original
+        assert np.allclose(ratio, ratio[0], rtol=1e-9)
+
+    def test_rejects_bad_target(self, clean):
+        with pytest.raises(ModelError):
+            clean.scaled_to(-0.5)

@@ -1,0 +1,113 @@
+"""Integration tests: every paper artefact regenerates and passes its
+shape checks.
+
+These are the repo's acceptance tests — each runs the full stack
+(device models -> simulated lab -> extraction -> comparison) for one
+figure or table of the paper.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.registry import ExperimentResult
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return run_all()
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        for name in ("fig1", "fig2", "fig5", "fig6", "fig8", "table1"):
+            assert name in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        for name in (
+            "ablation_sensitivity",
+            "ablation_current_ratio",
+            "ablation_solver",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+
+class TestShapeChecks:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fig1",
+            "fig2",
+            "fig5",
+            "fig6",
+            "fig8",
+            "table1",
+            "ablation_sensitivity",
+            "ablation_current_ratio",
+            "ablation_solver",
+            "sub1v_extension",
+        ],
+    )
+    def test_experiment_passes(self, all_results, name):
+        result = all_results[name]
+        assert result.passed, f"{name} failing: {result.failing_checks()}"
+
+    def test_results_carry_rows(self, all_results):
+        for name, result in all_results.items():
+            assert result.rows, name
+            assert len(result.columns) == len(result.rows[0]), name
+
+
+class TestSpecificNumbers:
+    def test_fig8_s1_agreement(self, all_results):
+        # The paper's "very good correlation": S1 tracks the measured
+        # curve; S0 misses the high-temperature rise by tens of mV.
+        result = all_results["fig8"]
+        hot_row = result.rows[-1]
+        measured, s0, s1 = hot_row[1], hot_row[2], hot_row[3]
+        assert measured - s0 > 20e-3
+        assert abs(measured - s1) < 5e-3
+
+    def test_table1_rows_one_per_sample(self, all_results):
+        assert len(all_results["table1"].rows) == 5
+
+    def test_fig6_c3_displaced(self, all_results):
+        result = all_results["fig6"]
+        mid = result.rows[len(result.rows) // 2]
+        __, c1, c2, c3 = mid
+        assert abs(c1 - c2) < abs(c3 - c2)
+
+    def test_fig1_covers_full_axis(self, all_results):
+        temps = [row[0] for row in all_results["fig1"].rows]
+        assert temps[0] == 0.0
+        assert temps[-1] == 450.0
+
+
+class TestReportRendering:
+    def test_render_result(self, all_results):
+        from repro.experiments import render_result
+
+        text = render_result(all_results["table1"])
+        assert "Table 1" in text
+        assert "PASS" in text
+
+    def test_render_summary(self, all_results):
+        from repro.experiments import render_summary
+
+        text = render_summary(all_results)
+        assert "fig8" in text
+
+    def test_result_dataclass_helpers(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=["a"],
+            rows=[(1,)],
+            checks={"ok": True, "bad": False},
+        )
+        assert not result.passed
+        assert result.failing_checks() == ["bad"]

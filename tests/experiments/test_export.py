@@ -1,0 +1,39 @@
+"""Tests for CSV export of experiment results."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.export import export_all, write_csv
+from repro.experiments.registry import ExperimentResult
+
+
+def toy_result():
+    return ExperimentResult(
+        experiment_id="toy",
+        title="Toy experiment",
+        columns=["x", "y"],
+        rows=[(1, 2.5), (2, 3.5)],
+        checks={"ok": True},
+        notes="a note",
+    )
+
+
+class TestWriteCsv:
+    def test_roundtrippable_table(self, tmp_path):
+        path = write_csv(toy_result(), str(tmp_path))
+        lines = open(path).read().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+        assert "# Toy experiment" in lines
+        assert "# a note" in lines
+        assert "# check ok: PASS" in lines
+
+    def test_missing_directory_raises(self):
+        with pytest.raises(ReproError):
+            write_csv(toy_result(), "/no/such/dir")
+
+    def test_export_all(self, tmp_path):
+        results = {"toy": toy_result()}
+        paths = export_all(results, str(tmp_path))
+        assert set(paths) == {"toy"}
+        assert paths["toy"].endswith("toy.csv")

@@ -1,0 +1,102 @@
+"""Tests for the analytical Meijer extraction (eqs. 14-15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bjt import BJTParameters, GummelPoonModel
+from repro.errors import ExtractionError
+from repro.extraction.meijer import meijer_extract
+
+TRUE_EG, TRUE_XTI = 1.1324, 3.4616
+
+
+def ideal_model():
+    return GummelPoonModel(
+        BJTParameters(
+            var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+            ise=0.0, rb=0.0, re=0.0, rc=0.0,
+        )
+    )
+
+
+class TestExactRecovery:
+    def test_paper_temperatures(self):
+        model = ideal_model()
+        temps = (248.15, 298.15, 348.15)
+        vbes = tuple(model.vbe_for_ic(1e-6, t) for t in temps)
+        result = meijer_extract(temps, vbes)
+        assert result.eg == pytest.approx(TRUE_EG, abs=2e-5)
+        assert result.xti == pytest.approx(TRUE_XTI, abs=5e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spread=st.floats(min_value=25.0, max_value=80.0),
+        log_ic=st.floats(min_value=-8.0, max_value=-5.0),
+    )
+    def test_recovery_property(self, spread, log_ic):
+        # Any symmetric three-point scheme around 298 K recovers the
+        # couple exactly from exact data.
+        model = ideal_model()
+        ic = 10.0**log_ic
+        temps = (298.15 - spread, 298.15, 298.15 + spread)
+        vbes = tuple(model.vbe_for_ic(ic, t) for t in temps)
+        result = meijer_extract(temps, vbes)
+        assert result.eg == pytest.approx(TRUE_EG, abs=2e-4)
+        assert result.xti == pytest.approx(TRUE_XTI, abs=0.05)
+
+    def test_current_corrected_variant(self):
+        # PTAT collector currents (eqs. 17-18): with the currents passed
+        # in, recovery stays exact.
+        model = ideal_model()
+        temps = (248.15, 298.15, 348.15)
+        currents = tuple(1e-6 * t / 298.15 for t in temps)
+        vbes = tuple(model.vbe_for_ic(i, t) for i, t in zip(currents, temps))
+        biased = meijer_extract(temps, vbes)
+        corrected = meijer_extract(temps, vbes, currents_a=currents)
+        assert corrected.eg == pytest.approx(TRUE_EG, abs=2e-4)
+        assert corrected.xti == pytest.approx(TRUE_XTI, abs=0.01)
+        # A perfectly PTAT bias folds exactly into the T**XTI prefactor:
+        # ignoring it leaves EG intact but shifts XTI by exactly -1.
+        assert biased.eg == pytest.approx(TRUE_EG, abs=2e-4)
+        assert biased.xti == pytest.approx(TRUE_XTI - 1.0, abs=0.01)
+
+
+class TestTemperatureErrorSensitivity:
+    def test_compressed_temperatures_bias_upward(self):
+        # Table-1-style compression (T1 too high, T3 too low) raises the
+        # extracted EG and XTI — the C3-vs-C1 displacement of Fig. 6.
+        model = ideal_model()
+        true_temps = (248.15, 298.15, 348.15)
+        vbes = tuple(model.vbe_for_ic(1e-6, t) for t in true_temps)
+        wrong_temps = (248.15 + 4.0, 298.15, 348.15 - 4.0)
+        biased = meijer_extract(wrong_temps, vbes)
+        assert biased.eg > TRUE_EG + 5e-3
+        assert biased.xti > TRUE_XTI + 0.5
+
+    def test_reference_error_is_benign(self):
+        # Paper/Meijer claim: an error on T2 below 5 K has no significant
+        # influence.  Shift all three temperatures by the same +3 K
+        # (which is what a reference error does through eq. 16's scaling)
+        # and the couple moves by only a few meV.
+        model = ideal_model()
+        temps = np.array([248.15, 298.15, 348.15])
+        vbes = tuple(model.vbe_for_ic(1e-6, t) for t in temps)
+        shifted = meijer_extract(tuple(temps * (301.15 / 298.15)), vbes)
+        assert shifted.eg == pytest.approx(TRUE_EG, abs=8e-3)
+
+
+class TestValidation:
+    def test_rejects_duplicate_temperatures(self):
+        with pytest.raises(ExtractionError):
+            meijer_extract((300.0, 300.0, 350.0), (0.6, 0.6, 0.5))
+
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(ExtractionError):
+            meijer_extract(
+                (250.0, 300.0, 350.0), (0.7, 0.6, 0.5), currents_a=(1e-6, 0.0, 1e-6)
+            )
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ExtractionError):
+            meijer_extract((-250.0, 300.0, 350.0), (0.7, 0.6, 0.5))

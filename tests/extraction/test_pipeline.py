@@ -1,0 +1,124 @@
+"""Integration tests: campaigns through both extraction pipelines.
+
+The exactness oracle (DESIGN.md section 6): with every non-ideality off,
+both methods must recover the planted couple.  With the paper lot's
+non-idealities on, the raw analytical path must reproduce the Table-1
+signature and the pad-corrected path must still land near the truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extraction import run_analytical_extraction, run_classical_extraction
+from repro.extraction.modelcard import parse_model_card
+from repro.measurement import MeasurementCampaign, paper_lot
+from repro.measurement.samples import ideal_sample
+
+TRUE_EG, TRUE_XTI = 1.1324, 3.4616
+
+
+@pytest.fixture(scope="module")
+def oracle_campaign():
+    return MeasurementCampaign(ideal_sample(), include_noise=False)
+
+
+@pytest.fixture(scope="module")
+def oracle_classical(oracle_campaign):
+    return run_classical_extraction(oracle_campaign)
+
+
+@pytest.fixture(scope="module")
+def oracle_analytical(oracle_campaign):
+    return run_analytical_extraction(oracle_campaign)
+
+
+class TestExactnessOracle:
+    def test_classical_straight_hits_truth(self, oracle_classical):
+        assert oracle_classical.straight.eg_at(TRUE_XTI) == pytest.approx(
+            TRUE_EG, abs=3e-3
+        )
+
+    def test_analytical_computed_couple_near_truth(self, oracle_analytical):
+        couple = oracle_analytical.couple_computed_t
+        assert couple.eg == pytest.approx(TRUE_EG, abs=3e-3)
+        assert couple.xti == pytest.approx(TRUE_XTI, abs=0.3)
+
+    def test_oracle_temperature_deltas_negligible(self, oracle_analytical):
+        # Sub-0.3 K residuals (device qb curvature only).
+        assert np.max(np.abs(oracle_analytical.temperature_deltas_k)) < 0.3
+
+    def test_methods_agree_on_oracle(self, oracle_classical, oracle_analytical):
+        # C1's EG at the analytical XTI matches the analytical EG — the
+        # equivalence the paper's Fig. 6 demonstrates via C1 ~ C2.
+        xti = oracle_analytical.couple_measured_t.xti
+        assert oracle_classical.straight.eg_at(xti) == pytest.approx(
+            oracle_analytical.couple_measured_t.eg, abs=3e-3
+        )
+
+
+class TestPaperLotBehaviour:
+    @pytest.fixture(scope="class")
+    def lot_extractions(self):
+        extractions = []
+        for sample in paper_lot():
+            campaign = MeasurementCampaign(sample, include_noise=False)
+            extractions.append(
+                (
+                    sample,
+                    run_analytical_extraction(campaign),
+                    run_analytical_extraction(campaign, correct_offset=True),
+                )
+            )
+        return extractions
+
+    def test_table1_signature(self, lot_extractions):
+        for sample, raw, _ in lot_extractions:
+            d1, d2, d3 = raw.temperature_deltas_k
+            assert -6.5 < d1 < -1.5, sample.name
+            assert d2 == pytest.approx(0.0, abs=1e-9)
+            assert 1.5 < d3 < 7.5, sample.name
+
+    def test_t3_discrepancy_exceeds_t1(self, lot_extractions):
+        # The paper's Table 1 skews hot: the lot-average |dT3| > |dT1|.
+        d1 = np.mean([abs(raw.temperature_deltas_k[0]) for _, raw, _ in lot_extractions])
+        d3 = np.mean([abs(raw.temperature_deltas_k[2]) for _, raw, _ in lot_extractions])
+        assert d3 > d1
+
+    def test_corrected_extraction_recovers_truth(self, lot_extractions):
+        # Pad-corrected offset + eq. 19-20 current correction: the full
+        # method lands within a few meV / few-0.01 XTI on every chip.
+        for sample, _, corrected in lot_extractions:
+            couple = corrected.couple_computed_t
+            assert couple.eg == pytest.approx(TRUE_EG, abs=6e-3), sample.name
+            assert couple.xti == pytest.approx(TRUE_XTI, abs=0.15), sample.name
+
+    def test_raw_couple_displaced(self, lot_extractions):
+        # The uncorrected computed temperatures are compressed, which
+        # displaces the extracted couple — the C3-vs-C1 shift of Fig. 6.
+        # The XTI bias is strongly upward (+1.5 or more); EG moves by
+        # several meV in a drift-dependent direction.
+        for sample, raw, corrected in lot_extractions:
+            assert raw.couple_computed_t.xti > corrected.couple_computed_t.xti + 1.0
+            raw_distance = abs(raw.couple_computed_t.xti - TRUE_XTI)
+            corrected_distance = abs(corrected.couple_computed_t.xti - TRUE_XTI)
+            assert raw_distance > 5.0 * corrected_distance
+
+
+class TestModelCards:
+    def test_classical_card(self, oracle_classical):
+        card = oracle_classical.model_card()
+        assert card.xti == pytest.approx(3.0)
+        text = card.render()
+        parsed = parse_model_card(text)
+        assert parsed.eg == pytest.approx(card.eg, rel=1e-5)
+
+    def test_analytical_card(self, oracle_analytical):
+        card = oracle_analytical.model_card()
+        assert card.eg == pytest.approx(oracle_analytical.couple_computed_t.eg)
+        assert ".MODEL" in card.render()
+
+    def test_parse_rejects_garbage(self):
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            parse_model_card("not a model card")

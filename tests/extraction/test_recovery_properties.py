@@ -1,0 +1,83 @@
+"""Property-based recovery tests: plant a couple, extract it back.
+
+The strongest statement the library can make about the extraction
+methods: for *any* physically plausible (EG, XTI) couple planted in a
+clean device, both the classical fit and the Meijer solve recover it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bjt import BJTParameters, GummelPoonModel
+from repro.extraction.meijer import meijer_extract
+from repro.extraction.vbe_fit import fit_vbe_characteristic
+
+couples = st.tuples(
+    st.floats(min_value=1.00, max_value=1.25),  # EG [eV]
+    st.floats(min_value=1.0, max_value=6.0),    # XTI
+)
+
+
+def clean_model(eg: float, xti: float) -> GummelPoonModel:
+    return GummelPoonModel(
+        BJTParameters(
+            eg=eg, xti=xti,
+            var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+            ise=0.0, rb=0.0, re=0.0, rc=0.0,
+        )
+    )
+
+
+class TestPlantedCoupleRecovery:
+    @settings(max_examples=30, deadline=None)
+    @given(couple=couples)
+    def test_meijer_recovers_any_couple(self, couple):
+        eg, xti = couple
+        model = clean_model(eg, xti)
+        temps = (248.15, 298.15, 348.15)
+        vbes = tuple(model.vbe_for_ic(1e-6, t) for t in temps)
+        result = meijer_extract(temps, vbes)
+        assert result.eg == pytest.approx(eg, abs=5e-4)
+        assert result.xti == pytest.approx(xti, abs=0.05)
+
+    @settings(max_examples=25, deadline=None)
+    @given(couple=couples)
+    def test_classical_fit_recovers_any_couple(self, couple):
+        eg, xti = couple
+        model = clean_model(eg, xti)
+        temps = np.linspace(223.15, 398.15, 8)
+        vbes = np.array([model.vbe_for_ic(1e-6, t) for t in temps])
+        result = fit_vbe_characteristic(temps, vbes)
+        assert result.eg == pytest.approx(eg, abs=2e-3)
+        assert result.xti == pytest.approx(xti, abs=0.2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(couple=couples)
+    def test_methods_agree_with_each_other(self, couple):
+        # Both methods see the same device; their couples must agree
+        # even before comparing to the plant.
+        eg, xti = couple
+        model = clean_model(eg, xti)
+        fit_temps = np.linspace(223.15, 398.15, 8)
+        vbes = np.array([model.vbe_for_ic(1e-6, t) for t in fit_temps])
+        fit = fit_vbe_characteristic(fit_temps, vbes)
+        meijer_temps = (248.15, 298.15, 348.15)
+        meijer_vbes = tuple(model.vbe_for_ic(1e-6, t) for t in meijer_temps)
+        analytic = meijer_extract(meijer_temps, meijer_vbes)
+        assert fit.eg == pytest.approx(analytic.eg, abs=2e-3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        couple=couples,
+        vbc=st.floats(min_value=-2.0, max_value=0.0),
+    )
+    def test_meijer_insensitive_to_reverse_collector_bias(self, couple, vbc):
+        # The Gummel configuration holds VCB = 0, but a clean device is
+        # insensitive to modest reverse collector bias (VAF = inf here).
+        eg, xti = couple
+        model = clean_model(eg, xti)
+        temps = (248.15, 298.15, 348.15)
+        vbes = tuple(model.vbe_for_ic(1e-6, t, vbc=vbc) for t in temps)
+        result = meijer_extract(temps, vbes)
+        assert result.eg == pytest.approx(eg, abs=5e-4)

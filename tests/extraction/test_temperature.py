@@ -1,0 +1,129 @@
+"""Tests for computed die temperatures (eqs. 16, 19-20)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import thermal_voltage
+from repro.errors import ExtractionError
+from repro.extraction.temperature import (
+    a_coefficient,
+    computed_temperature,
+    computed_temperatures_for_curve,
+    current_ratio_x,
+)
+from repro.measurement.dataset import DeltaVbeCurve
+
+
+def ptat_dvbe(t, offset=0.0):
+    """Ideal dVBE of a p=8 pair plus an additive offset."""
+    return thermal_voltage(t) * math.log(8.0) + offset
+
+
+class TestEq16:
+    @given(t=st.floats(min_value=220.0, max_value=420.0))
+    def test_exact_for_ideal_ptat(self, t):
+        t2 = 297.0
+        computed = computed_temperature(ptat_dvbe(t), ptat_dvbe(t2), t2)
+        assert computed == pytest.approx(t, rel=1e-12)
+
+    def test_offset_compresses_toward_reference(self):
+        # A constant positive offset pulls the computed temperatures
+        # toward T2 from both sides — Table 1's signature.
+        t2 = 297.0
+        offset = 4.5e-3
+        cold = computed_temperature(ptat_dvbe(247.0, offset), ptat_dvbe(t2, offset), t2)
+        hot = computed_temperature(ptat_dvbe(348.0, offset), ptat_dvbe(t2, offset), t2)
+        assert cold > 247.0
+        assert hot < 348.0
+
+    def test_paper_8_percent_slope_figure(self):
+        # "the slope of VBE(T) at 25 C is modified by about 8%": a
+        # ~4.5 mV offset on a 53 mV dVBE scales the computed-temperature
+        # slope by dVBE/(dVBE + offset) ~ 0.92.
+        t2 = 297.0
+        offset = 4.5e-3
+        slope = (
+            computed_temperature(ptat_dvbe(t2 + 1.0, offset), ptat_dvbe(t2, offset), t2)
+            - computed_temperature(ptat_dvbe(t2 - 1.0, offset), ptat_dvbe(t2, offset), t2)
+        ) / 2.0
+        assert slope == pytest.approx(0.92, abs=0.015)
+
+    def test_gain_error_cancels(self):
+        # A multiplicative error on dVBE (IS mismatch, amp gain) cancels
+        # exactly in the ratio — the robustness that makes eq. 16 usable.
+        t2 = 297.0
+        computed = computed_temperature(
+            1.07 * ptat_dvbe(250.0), 1.07 * ptat_dvbe(t2), t2
+        )
+        assert computed == pytest.approx(250.0, rel=1e-12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ExtractionError):
+            computed_temperature(-1e-3, 50e-3, 297.0)
+        with pytest.raises(ExtractionError):
+            computed_temperature(50e-3, 0.0, 297.0)
+        with pytest.raises(ExtractionError):
+            computed_temperature(50e-3, 50e-3, -297.0)
+
+
+class TestCurrentRatioCorrection:
+    def test_x_of_tracking_branches_is_unity(self):
+        assert current_ratio_x(1e-6, 1e-6, 2e-6, 2e-6) == pytest.approx(1.0)
+        assert current_ratio_x(1e-6, 1.1e-6, 2e-6, 2.2e-6) == pytest.approx(1.0)
+
+    def test_paper_a_coefficient_magnitude(self):
+        # Paper section 4: for T1=0 C, T2=100 C, A ~ 0.3 mV, i.e. ~0.45%
+        # of a 70 mV dVBE.  A 1% relative current-ratio drift between the
+        # branches over that span gives exactly that order.
+        t2 = 373.15
+        x = 1.01
+        a = a_coefficient(t2, x)
+        assert 0.1e-3 < a < 0.5e-3
+
+    def test_correction_direction(self):
+        # X > 1 (QA's current grew relative to QB's at the measurement
+        # point) inflates dVBE; the eq. 19 correction deflates the
+        # computed temperature back.
+        t2 = 297.0
+        uncorrected = computed_temperature(ptat_dvbe(350.0), ptat_dvbe(t2), t2)
+        corrected = computed_temperature(ptat_dvbe(350.0), ptat_dvbe(t2), t2, x=1.01)
+        assert corrected < uncorrected
+
+    def test_correction_is_weak(self):
+        # The paper's conclusion: the temperature variation of IC has a
+        # weak influence on T1/T2 — sub-kelvin for ~1% drift.
+        t2 = 297.0
+        uncorrected = computed_temperature(ptat_dvbe(350.0), ptat_dvbe(t2), t2)
+        corrected = computed_temperature(ptat_dvbe(350.0), ptat_dvbe(t2), t2, x=1.01)
+        assert abs(corrected - uncorrected) < 2.0
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(ExtractionError):
+            a_coefficient(297.0, 0.0)
+        with pytest.raises(ExtractionError):
+            current_ratio_x(1e-6, 1e-6, 0.0, 1e-6)
+
+
+class TestCurveHelper:
+    def test_curve_computation(self):
+        temps = np.array([248.15, 298.15, 348.15])
+        curve = DeltaVbeCurve(
+            sensor_temperatures_k=temps,
+            delta_vbe_v=np.array([ptat_dvbe(t) for t in temps]),
+            vbe_a_v=np.full(3, 0.65),
+        )
+        computed = computed_temperatures_for_curve(curve, reference_k=298.15)
+        np.testing.assert_allclose(computed, temps, rtol=1e-12)
+
+    def test_x_array_shape_checked(self):
+        temps = np.array([248.15, 298.15, 348.15])
+        curve = DeltaVbeCurve(
+            sensor_temperatures_k=temps,
+            delta_vbe_v=np.array([ptat_dvbe(t) for t in temps]),
+            vbe_a_v=np.full(3, 0.65),
+        )
+        with pytest.raises(ExtractionError):
+            computed_temperatures_for_curve(curve, x_values=np.ones(2))

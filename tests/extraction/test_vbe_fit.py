@@ -1,0 +1,160 @@
+"""Tests for the eq. 13 model and the classical fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bjt import BJTParameters, GummelPoonModel
+from repro.errors import ExtractionError
+from repro.extraction.vbe_fit import FitResult, fit_vbe_characteristic, fit_vbe_curves
+from repro.extraction.vbe_model import vbe_characteristic, vbe_reference_terms
+from repro.measurement.dataset import VbeTemperatureCurve
+
+TRUE_EG, TRUE_XTI = 1.1324, 3.4616
+
+
+def ideal_model():
+    return GummelPoonModel(
+        BJTParameters(
+            var=float("inf"), vaf=float("inf"), ikf=float("inf"),
+            ise=0.0, rb=0.0, re=0.0, rc=0.0,
+        )
+    )
+
+
+def synth_curve(ic=1e-6, temps=None):
+    model = ideal_model()
+    temps = temps if temps is not None else np.linspace(223.15, 398.15, 8)
+    vbes = np.array([model.vbe_for_ic(ic, t) for t in temps])
+    return temps, vbes
+
+
+class TestForwardModel:
+    def test_anchor_point_exact(self):
+        value = vbe_characteristic(300.0, TRUE_EG, TRUE_XTI, vbe_ref=0.65,
+                                   reference_k=300.0)
+        assert value == pytest.approx(0.65, abs=1e-15)
+
+    def test_matches_device_inversion(self):
+        # Eq. 13 with the device's own couple must reproduce the device's
+        # VBE(T) essentially exactly (no VAR/IKF in the ideal model).
+        model = ideal_model()
+        ic = 1e-6
+        v_ref = model.vbe_for_ic(ic, 298.15)
+        for t in (248.15, 273.15, 323.15, 373.15):
+            predicted = vbe_characteristic(
+                t, TRUE_EG, TRUE_XTI, vbe_ref=v_ref, reference_k=298.15
+            )
+            assert predicted == pytest.approx(model.vbe_for_ic(ic, t), abs=3e-6)
+
+    def test_current_term(self):
+        base = vbe_characteristic(350.0, TRUE_EG, TRUE_XTI, 0.65, 300.0)
+        doubled = vbe_characteristic(
+            350.0, TRUE_EG, TRUE_XTI, 0.65, 300.0, ic=2e-6, ic_ref=1e-6
+        )
+        from repro.constants import thermal_voltage
+
+        assert doubled - base == pytest.approx(
+            thermal_voltage(350.0) * np.log(2.0), rel=1e-9
+        )
+
+    def test_var_correction_converges(self):
+        with_var = vbe_characteristic(
+            350.0, TRUE_EG, TRUE_XTI, 0.65, 300.0, var=8.0
+        )
+        without = vbe_characteristic(350.0, TRUE_EG, TRUE_XTI, 0.65, 300.0)
+        assert with_var != pytest.approx(without, abs=1e-9)
+        assert abs(with_var - without) < 5e-3
+
+    def test_mismatched_current_args_raise(self):
+        with pytest.raises(ExtractionError):
+            vbe_characteristic(350.0, TRUE_EG, TRUE_XTI, 0.65, 300.0, ic=1e-6)
+
+    def test_basis_functions_vanish_at_reference(self):
+        a, b = vbe_reference_terms(300.0, 300.0)
+        assert a == 0.0
+        assert b == 0.0
+
+
+class TestClassicalFit:
+    def test_recovers_planted_couple(self):
+        temps, vbes = synth_curve()
+        result = fit_vbe_characteristic(temps, vbes, ic=1e-6)
+        assert result.eg == pytest.approx(TRUE_EG, abs=2e-4)
+        assert result.xti == pytest.approx(TRUE_XTI, abs=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(log_ic=st.floats(min_value=-8.0, max_value=-5.0))
+    def test_recovery_independent_of_bias(self, log_ic):
+        temps, vbes = synth_curve(ic=10.0**log_ic)
+        result = fit_vbe_characteristic(temps, vbes)
+        assert result.eg == pytest.approx(TRUE_EG, abs=5e-4)
+
+    def test_residual_small_for_exact_data(self):
+        temps, vbes = synth_curve()
+        result = fit_vbe_characteristic(temps, vbes)
+        assert result.residual_rms_v < 5e-6
+
+    def test_strong_eg_xti_correlation(self):
+        # The paper's central difficulty: |rho| close to 1.
+        temps, vbes = synth_curve()
+        result = fit_vbe_characteristic(temps, vbes)
+        assert abs(result.correlation) > 0.98
+
+    def test_predict_roundtrip(self):
+        temps, vbes = synth_curve()
+        result = fit_vbe_characteristic(temps, vbes)
+        for t, v in zip(temps, vbes):
+            assert result.predict(t) == pytest.approx(v, abs=1e-5)
+
+    def test_reference_defaults_to_25c_point(self):
+        temps, vbes = synth_curve(temps=np.array([248.15, 298.15, 348.15]))
+        result = fit_vbe_characteristic(temps, vbes)
+        assert result.reference_k == pytest.approx(298.15)
+
+    def test_varying_current_fit(self):
+        # PTAT bias: IC proportional to T; the current term must be
+        # removed using the recorded currents.
+        model = ideal_model()
+        temps = np.linspace(223.15, 398.15, 8)
+        currents = 1e-6 * temps / 300.0
+        vbes = np.array(
+            [model.vbe_for_ic(i, t) for i, t in zip(currents, temps)]
+        )
+        result = fit_vbe_characteristic(temps, vbes, currents_a=currents)
+        assert result.eg == pytest.approx(TRUE_EG, abs=5e-4)
+        assert result.xti == pytest.approx(TRUE_XTI, abs=0.1)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ExtractionError):
+            fit_vbe_characteristic([300.0, 310.0], [0.65, 0.63])
+        with pytest.raises(ExtractionError):
+            fit_vbe_characteristic([300.0, 310.0, 320.0], [0.65, 0.63])
+
+    def test_noise_degrades_gracefully(self):
+        temps, vbes = synth_curve()
+        rng = np.random.default_rng(0)
+        noisy = vbes + rng.normal(0.0, 50e-6, size=vbes.shape)
+        result = fit_vbe_characteristic(temps, noisy)
+        # 50 uV of noise leaves EG within a few meV.
+        assert result.eg == pytest.approx(TRUE_EG, abs=10e-3)
+
+
+class TestFitCurvesBatch:
+    def test_batch(self):
+        curves = []
+        for ic in (1e-7, 1e-6):
+            temps, vbes = synth_curve(ic=ic)
+            curves.append(
+                VbeTemperatureCurve(
+                    collector_current_a=ic, temperatures_k=temps, vbe_v=vbes
+                )
+            )
+        results = fit_vbe_curves(curves)
+        assert len(results) == 2
+        for result in results:
+            assert result.eg == pytest.approx(TRUE_EG, abs=5e-4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ExtractionError):
+            fit_vbe_curves([])

@@ -1,0 +1,132 @@
+"""Tests for measurement campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.campaign import (
+    MeasurementCampaign,
+    PAPER_FIG5_TEMPS_C,
+    PAPER_SWEEP_TEMPS_C,
+)
+from repro.measurement.samples import DeviceSample, ideal_sample
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture(scope="module")
+def quiet_campaign():
+    return MeasurementCampaign(ideal_sample(), include_noise=False)
+
+
+@pytest.fixture(scope="module")
+def real_campaign():
+    return MeasurementCampaign(DeviceSample(), include_noise=False)
+
+
+class TestTemperatureBookkeeping:
+    def test_ideal_sample_die_equals_chamber(self, quiet_campaign):
+        assert quiet_campaign.die_temperature(300.0) == pytest.approx(300.0)
+
+    def test_real_sample_die_is_warmer(self, real_campaign):
+        assert real_campaign.die_temperature(300.0) > 300.0
+
+    def test_unpowered_die_equals_chamber(self, real_campaign):
+        assert real_campaign.die_temperature(300.0, powered=False) == 300.0
+
+    def test_sensor_reading_with_offset(self):
+        campaign = MeasurementCampaign(
+            DeviceSample(sensor_offset_k=0.4), include_noise=False
+        )
+        assert campaign.sensor_reading(300.0) == pytest.approx(300.4)
+
+
+class TestGummelFamilyCampaign:
+    def test_paper_temperatures(self, quiet_campaign):
+        curves = quiet_campaign.measure_gummel_family(points=41)
+        assert len(curves) == len(PAPER_FIG5_TEMPS_C)
+        assert curves[0].nominal_celsius == pytest.approx(-50.88)
+
+    def test_decades_spanned(self, quiet_campaign):
+        curves = quiet_campaign.measure_gummel_family(points=61)
+        spans = [c.decades_spanned() for c in curves]
+        # Each curve spans many decades; the family's union covers the
+        # paper's 1e-14..1e-2 A window (checked in the experiment tests).
+        assert min(spans) > 6.0
+
+
+class TestVbeCurveCampaign:
+    def test_constant_current_curve(self, quiet_campaign):
+        curve = quiet_campaign.measure_vbe_curve(1e-6)
+        assert curve.collector_current_a == 1e-6
+        assert len(curve.temperatures_k) == len(PAPER_SWEEP_TEMPS_C)
+        # CTAT: monotone decreasing with temperature.
+        assert np.all(np.diff(curve.vbe_v) < 0.0)
+
+    def test_rejects_bad_current(self, quiet_campaign):
+        with pytest.raises(MeasurementError):
+            quiet_campaign.measure_vbe_curve(0.0)
+
+    def test_noise_toggle(self):
+        sample = ideal_sample()
+        quiet = MeasurementCampaign(sample, include_noise=False, seed=5)
+        noisy = MeasurementCampaign(sample, include_noise=True, seed=5)
+        a = quiet.measure_vbe_curve(1e-6)
+        b = noisy.measure_vbe_curve(1e-6)
+        assert not np.allclose(a.vbe_v, b.vbe_v, rtol=0.0, atol=1e-9)
+        assert np.allclose(a.vbe_v, b.vbe_v, rtol=0.0, atol=1e-4)
+
+
+class TestPairCampaign:
+    def test_ideal_pair_is_ptat(self, quiet_campaign):
+        # The "ideal sample" still carries the realistic device card
+        # (finite VAR/IKF), whose qb curvature bends dVBE/T by ~0.2%.
+        curve = quiet_campaign.measure_pair()
+        ratio = curve.delta_vbe_v / curve.sensor_temperatures_k
+        assert np.allclose(ratio, ratio[0], rtol=5e-3)
+
+    def test_offset_visible_in_reading(self):
+        sample = DeviceSample(delta_vbe_offset_v=4e-3, rth_k_per_w=0.0,
+                              quiescent_power_w=0.0, sensor_offset_k=0.0,
+                              leakage_scale=0.0, current_ratio_drift_per_k=0.0)
+        clean = ideal_sample()
+        a = MeasurementCampaign(sample, include_noise=False).measure_pair()
+        b = MeasurementCampaign(clean, include_noise=False).measure_pair()
+        np.testing.assert_allclose(a.delta_vbe_v - b.delta_vbe_v, 4e-3, atol=1e-6)
+
+    def test_pad_correction_shrinks_offset(self):
+        sample = DeviceSample(delta_vbe_offset_v=4e-3, pad_correction_residual=0.05,
+                              rth_k_per_w=0.0, quiescent_power_w=0.0,
+                              sensor_offset_k=0.0, leakage_scale=0.0,
+                              current_ratio_drift_per_k=0.0)
+        campaign = MeasurementCampaign(sample, include_noise=False)
+        raw = campaign.measure_pair()
+        corrected = campaign.measure_pair(correct_offset=True)
+        shift = np.mean(raw.delta_vbe_v - corrected.delta_vbe_v)
+        assert shift == pytest.approx(4e-3 * 0.95, rel=1e-3)
+
+    def test_self_heating_visible_in_pair_data(self):
+        heated = DeviceSample(delta_vbe_offset_v=0.0, sensor_offset_k=0.0,
+                              leakage_scale=0.0, current_ratio_drift_per_k=0.0,
+                              rth_k_per_w=200.0, quiescent_power_w=8e-3)
+        cold = ideal_sample()
+        a = MeasurementCampaign(heated, include_noise=False).measure_pair()
+        b = MeasurementCampaign(cold, include_noise=False).measure_pair()
+        # The heated die's dVBE is larger (PTAT of a warmer junction).
+        assert np.all(a.delta_vbe_v > b.delta_vbe_v)
+
+
+class TestSlicing:
+    def test_sliced_curves_match_direct_measurement(self, quiet_campaign):
+        family = quiet_campaign.measure_gummel_family(points=241)
+        sliced = quiet_campaign.slice_vbe_curves(family, [1e-6])[0]
+        direct = quiet_campaign.measure_vbe_curve(
+            1e-6, temps_c=PAPER_FIG5_TEMPS_C
+        )
+        # Sliced values interpolate the terminal sweep; they agree with
+        # the exact inversion to well under a millivolt.
+        np.testing.assert_allclose(sliced.vbe_v, direct.vbe_v, atol=5e-4)
+
+    def test_uncovered_current_raises(self, quiet_campaign):
+        family = quiet_campaign.measure_gummel_family(points=41)
+        with pytest.raises(MeasurementError):
+            quiet_campaign.slice_vbe_curves(family, [1e3])

@@ -1,0 +1,133 @@
+"""Tests for the measured-curve containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.dataset import DeltaVbeCurve, GummelCurve, VbeTemperatureCurve
+
+
+def sample_vbe_curve():
+    return VbeTemperatureCurve(
+        collector_current_a=1e-6,
+        temperatures_k=np.array([248.15, 298.15, 348.15]),
+        vbe_v=np.array([0.75, 0.65, 0.55]),
+        label="unit test",
+    )
+
+
+class TestVbeTemperatureCurve:
+    def test_interpolation(self):
+        curve = sample_vbe_curve()
+        assert curve.vbe_at(273.15) == pytest.approx(0.70)
+
+    def test_csv_round_trip(self):
+        curve = sample_vbe_curve()
+        text = curve.to_csv()
+        restored = VbeTemperatureCurve.from_csv(text)
+        assert restored.collector_current_a == pytest.approx(1e-6)
+        np.testing.assert_allclose(restored.temperatures_k, curve.temperatures_k)
+        np.testing.assert_allclose(restored.vbe_v, curve.vbe_v)
+
+    def test_csv_with_explicit_current(self):
+        text = "temperature_k,vbe_v\n250.0,0.7\n300.0,0.6\n"
+        restored = VbeTemperatureCurve.from_csv(text, collector_current_a=2e-6)
+        assert restored.collector_current_a == pytest.approx(2e-6)
+
+    def test_csv_missing_current_raises(self):
+        with pytest.raises(MeasurementError):
+            VbeTemperatureCurve.from_csv("temperature_k,vbe_v\n250.0,0.7\n300.0,0.6\n")
+
+    def test_shape_validation(self):
+        with pytest.raises(MeasurementError):
+            VbeTemperatureCurve(
+                collector_current_a=1e-6,
+                temperatures_k=np.array([250.0, 300.0]),
+                vbe_v=np.array([0.7]),
+            )
+
+    def test_needs_two_points(self):
+        with pytest.raises(MeasurementError):
+            VbeTemperatureCurve(
+                collector_current_a=1e-6,
+                temperatures_k=np.array([250.0]),
+                vbe_v=np.array([0.7]),
+            )
+
+    def test_rejects_bad_current(self):
+        with pytest.raises(MeasurementError):
+            VbeTemperatureCurve(
+                collector_current_a=0.0,
+                temperatures_k=np.array([250.0, 300.0]),
+                vbe_v=np.array([0.7, 0.6]),
+            )
+
+
+class TestDeltaVbeCurve:
+    def make(self, with_currents=True):
+        temps = np.array([248.0, 298.0, 348.0])
+        kwargs = {}
+        if with_currents:
+            kwargs = {
+                "ic_a_a": np.array([1e-5, 1e-5, 1e-5]),
+                "ic_b_a": np.array([1e-5, 1.005e-5, 1.01e-5]),
+            }
+        return DeltaVbeCurve(
+            sensor_temperatures_k=temps,
+            delta_vbe_v=np.array([0.044, 0.053, 0.062]),
+            vbe_a_v=np.array([0.75, 0.65, 0.55]),
+            **kwargs,
+        )
+
+    def test_nearest_index(self):
+        assert self.make().nearest_index(300.0) == 1
+        assert self.make().nearest_index(360.0) == 2
+
+    def test_has_currents(self):
+        assert self.make().has_currents
+        assert not self.make(with_currents=False).has_currents
+
+    def test_x_values_reference_point_is_unity(self):
+        curve = self.make()
+        x = curve.current_ratio_x_values(1)
+        assert x[1] == pytest.approx(1.0)
+        # QB's current grows faster -> X < 1 at the hotter point.
+        assert x[2] < 1.0
+
+    def test_x_values_without_currents_raise(self):
+        with pytest.raises(MeasurementError):
+            self.make(with_currents=False).current_ratio_x_values(0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            DeltaVbeCurve(
+                sensor_temperatures_k=np.array([250.0, 300.0]),
+                delta_vbe_v=np.array([0.05]),
+                vbe_a_v=np.array([0.6, 0.7]),
+            )
+
+
+class TestGummelCurve:
+    def test_decades(self):
+        curve = GummelCurve(
+            nominal_celsius=25.0,
+            vbe_v=np.linspace(0.1, 1.0, 10),
+            ic_a=np.logspace(-12, -3, 10),
+        )
+        assert curve.decades_spanned() == pytest.approx(9.0)
+
+    def test_decades_empty_positive(self):
+        curve = GummelCurve(
+            nominal_celsius=25.0,
+            vbe_v=np.array([0.1, 0.2]),
+            ic_a=np.array([-1e-15, 0.0]),
+        )
+        assert curve.decades_spanned() == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(MeasurementError):
+            GummelCurve(
+                nominal_celsius=25.0,
+                vbe_v=np.array([0.1, 0.2]),
+                ic_a=np.array([1e-9]),
+            )

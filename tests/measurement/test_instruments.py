@@ -1,0 +1,99 @@
+"""Tests for simulated instruments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.instruments import (
+    InstrumentSettings,
+    ParameterAnalyzer,
+    TemperatureLogger,
+)
+
+
+def quiet_settings():
+    return InstrumentSettings(
+        voltage_noise_rms=0.0,
+        voltage_resolution=0.0,
+        current_noise_rel=0.0,
+        current_floor=0.0,
+        temperature_noise_rms=0.0,
+    )
+
+
+class TestParameterAnalyzer:
+    def test_noiseless_passthrough(self):
+        analyzer = ParameterAnalyzer(quiet_settings())
+        assert analyzer.read_voltage(0.65321) == pytest.approx(0.65321, abs=1e-12)
+
+    def test_quantisation(self):
+        settings = InstrumentSettings(voltage_noise_rms=0.0, voltage_resolution=2e-6)
+        analyzer = ParameterAnalyzer(settings)
+        reading = analyzer.read_voltage(0.1234567)
+        assert reading % 2e-6 == pytest.approx(0.0, abs=1e-12)
+        assert reading == pytest.approx(0.1234567, abs=1e-6)
+
+    def test_noise_statistics(self):
+        settings = InstrumentSettings(voltage_noise_rms=10e-6, voltage_resolution=0.0)
+        analyzer = ParameterAnalyzer(settings, rng=np.random.default_rng(1))
+        readings = np.array([analyzer.read_voltage(0.5) for _ in range(4000)])
+        assert readings.std() == pytest.approx(10e-6, rel=0.1)
+        assert readings.mean() == pytest.approx(0.5, abs=1e-6)
+
+    def test_averaging_shrinks_noise(self):
+        settings = InstrumentSettings(voltage_noise_rms=10e-6, voltage_resolution=0.0)
+        analyzer = ParameterAnalyzer(settings, rng=np.random.default_rng(2))
+        single = np.array([analyzer.read_voltage(0.5) for _ in range(2000)])
+        averaged = np.array(
+            [analyzer.read_voltage_averaged(0.5, samples=64) for _ in range(2000)]
+        )
+        assert averaged.std() < 0.25 * single.std()
+
+    def test_range_check(self):
+        analyzer = ParameterAnalyzer(quiet_settings())
+        with pytest.raises(MeasurementError):
+            analyzer.read_voltage(100.0)
+
+    def test_current_noise_relative(self):
+        settings = InstrumentSettings(current_noise_rel=1e-3, current_floor=0.0)
+        analyzer = ParameterAnalyzer(settings, rng=np.random.default_rng(3))
+        readings = np.array([analyzer.read_current(1e-6) for _ in range(3000)])
+        assert readings.std() == pytest.approx(1e-9, rel=0.15)
+
+    def test_current_floor_visible_at_fa(self):
+        # The 2e-14 A floor dominates readings of fA-level currents —
+        # the physical reason Fig. 5's bottom decade is noisy.
+        analyzer = ParameterAnalyzer(rng=np.random.default_rng(4))
+        readings = np.array([analyzer.read_current(1e-15) for _ in range(500)])
+        assert readings.std() > 1e-14
+
+    def test_reproducible_with_seeded_rng(self):
+        a = ParameterAnalyzer(rng=np.random.default_rng(7))
+        b = ParameterAnalyzer(rng=np.random.default_rng(7))
+        assert a.read_voltage(0.6) == b.read_voltage(0.6)
+
+    def test_rejects_bad_settings(self):
+        with pytest.raises(MeasurementError):
+            InstrumentSettings(voltage_noise_rms=-1.0)
+        with pytest.raises(MeasurementError):
+            InstrumentSettings(voltage_range=0.0)
+
+    def test_averaged_needs_samples(self):
+        with pytest.raises(MeasurementError):
+            ParameterAnalyzer(quiet_settings()).read_voltage_averaged(0.5, samples=0)
+
+
+class TestTemperatureLogger:
+    def test_calibration_offset(self):
+        logger = TemperatureLogger(calibration_offset_k=0.5, settings=quiet_settings())
+        assert logger.read(300.0) == pytest.approx(300.5)
+
+    def test_paper_spec_enforced(self):
+        # "precision less than 1 C"
+        with pytest.raises(MeasurementError):
+            TemperatureLogger(calibration_offset_k=1.5)
+
+    def test_rejects_nonpositive_temperature(self):
+        logger = TemperatureLogger(settings=quiet_settings())
+        with pytest.raises(MeasurementError):
+            logger.read(0.0)

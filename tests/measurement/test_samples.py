@@ -1,0 +1,108 @@
+"""Tests for process-spread samples."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.samples import (
+    DeviceSample,
+    ProcessSpread,
+    ideal_sample,
+    paper_lot,
+)
+
+
+class TestDeviceSample:
+    def test_defaults_valid(self):
+        DeviceSample()
+
+    def test_is_scale_applied(self):
+        sample = DeviceSample(is_scale=1.1)
+        assert sample.bjt_params().is_ == pytest.approx(1.1 * DeviceSample().bjt_params().is_ / 1.0)
+
+    def test_leakage_scale_applied(self):
+        strong = DeviceSample(leakage_scale=2.0).substrate_unit()
+        base = DeviceSample(leakage_scale=1.0).substrate_unit()
+        assert strong.leakage_current(400.0) == pytest.approx(
+            2.0 * base.leakage_current(400.0)
+        )
+
+    def test_matched_pair_carries_mismatch(self):
+        pair = DeviceSample(is_mismatch=1.02).matched_pair()
+        assert pair.qb.params.is_ == pytest.approx(8.0 * 1.02 * pair.qa.params.is_)
+
+    def test_current_ratio_law_anchored_at_reference(self):
+        law = DeviceSample(current_ratio_drift_per_k=1e-4).current_ratio_law(297.0)
+        assert law(297.0) == pytest.approx(1.0)
+        assert law(347.0) == pytest.approx(1.005)
+
+    def test_cell_config_carries_nonidealities(self):
+        sample = DeviceSample(delta_vbe_offset_v=4e-3, opamp_vos_v=1e-3)
+        config = sample.cell_config(radja=1.8e3)
+        assert config.p5_tap_offset_v == pytest.approx(4e-3)
+        assert config.opamp_vos == pytest.approx(1e-3)
+        assert config.radja == pytest.approx(1.8e3)
+
+    def test_self_heating_scales(self):
+        sample = DeviceSample(rth_k_per_w=150.0, quiescent_power_w=5e-3)
+        rise = sample.self_heating().self_heating_k(297.0)
+        assert 0.5 < rise < 2.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(MeasurementError):
+            DeviceSample(is_scale=0.0)
+        with pytest.raises(MeasurementError):
+            DeviceSample(leakage_scale=-1.0)
+        with pytest.raises(MeasurementError):
+            DeviceSample(bias_current_a=0.0)
+
+
+class TestProcessSpread:
+    def test_reproducible(self):
+        a = ProcessSpread().generate(5, seed=11)
+        b = ProcessSpread().generate(5, seed=11)
+        assert a == b
+
+    def test_distinct_seeds_differ(self):
+        a = ProcessSpread().generate(5, seed=11)
+        b = ProcessSpread().generate(5, seed=12)
+        assert a != b
+
+    def test_values_within_brackets(self):
+        spread = ProcessSpread()
+        for sample in spread.generate(20, seed=3):
+            assert spread.is_scale[0] <= sample.is_scale <= spread.is_scale[1]
+            assert (
+                spread.delta_vbe_offset_v[0]
+                <= sample.delta_vbe_offset_v
+                <= spread.delta_vbe_offset_v[1]
+            )
+            assert spread.rth_k_per_w[0] <= sample.rth_k_per_w <= spread.rth_k_per_w[1]
+
+    def test_rejects_empty_lot(self):
+        with pytest.raises(MeasurementError):
+            ProcessSpread().generate(0)
+
+
+class TestPaperLot:
+    def test_five_samples(self):
+        lot = paper_lot()
+        assert len(lot) == 5
+        assert [s.name for s in lot] == [f"sample {i}" for i in range(1, 6)]
+
+    def test_deterministic(self):
+        assert paper_lot() == paper_lot()
+
+
+class TestIdealSample:
+    def test_all_nonidealities_off(self):
+        sample = ideal_sample()
+        assert sample.delta_vbe_offset_v == 0.0
+        assert sample.leakage_scale == 0.0
+        assert sample.rth_k_per_w == 0.0
+        assert sample.sensor_offset_k == 0.0
+        assert sample.current_ratio_drift_per_k == 0.0
+
+    def test_no_self_heating(self):
+        assert ideal_sample().self_heating().self_heating_k(300.0) == pytest.approx(
+            0.0, abs=1e-9
+        )

@@ -1,0 +1,67 @@
+"""Tests for the chamber and self-heating models."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.thermal import SelfHeatingModel, ThermalChamber
+
+
+class TestSelfHeatingModel:
+    def test_quiescent_only(self):
+        model = SelfHeatingModel(rth_k_per_w=200.0, quiescent_power_w=5e-3)
+        assert model.self_heating_k(300.0) == pytest.approx(1.0, abs=1e-5)
+
+    def test_zero_rth(self):
+        model = SelfHeatingModel(rth_k_per_w=0.0, quiescent_power_w=10e-3)
+        assert model.die_temperature(250.0) == pytest.approx(250.0)
+
+    def test_core_power_law_included(self):
+        model = SelfHeatingModel(
+            rth_k_per_w=100.0,
+            quiescent_power_w=0.0,
+            core_power_law=lambda t: 1e-5 * t,
+        )
+        die = model.die_temperature(300.0)
+        # Fixed point of T = 300 + 100*1e-5*T -> T = 300/(1-1e-3).
+        assert die == pytest.approx(300.0 / (1.0 - 1e-3), abs=1e-3)
+
+    def test_paper_scale_self_heating(self):
+        # The Table-1 mechanism: sub-kelvin to ~1.5 K of die rise.
+        model = SelfHeatingModel(rth_k_per_w=150.0, quiescent_power_w=5e-3)
+        rise = model.self_heating_k(297.0)
+        assert 0.3 < rise < 2.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(MeasurementError):
+            SelfHeatingModel(rth_k_per_w=-1.0)
+        with pytest.raises(MeasurementError):
+            SelfHeatingModel(quiescent_power_w=-1e-3)
+
+    def test_rejects_negative_core_power(self):
+        model = SelfHeatingModel(core_power_law=lambda t: -1.0)
+        with pytest.raises(MeasurementError):
+            model.die_temperature(300.0)
+
+    def test_rejects_nonpositive_ambient(self):
+        with pytest.raises(MeasurementError):
+            SelfHeatingModel().die_temperature(0.0)
+
+
+class TestThermalChamber:
+    def test_soak_to_setpoint(self):
+        chamber = ThermalChamber()
+        chamber.set_temperature(248.15)
+        assert chamber.component_temperature_k == pytest.approx(248.15)
+
+    def test_settling_error(self):
+        chamber = ThermalChamber(settling_error_k=0.2)
+        chamber.set_temperature(300.0)
+        assert chamber.component_temperature_k == pytest.approx(300.2)
+
+    def test_unprogrammed_chamber_raises(self):
+        with pytest.raises(MeasurementError):
+            ThermalChamber().component_temperature_k
+
+    def test_rejects_bad_setpoint(self):
+        with pytest.raises(MeasurementError):
+            ThermalChamber().set_temperature(-10.0)

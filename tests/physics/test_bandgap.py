@@ -1,0 +1,188 @@
+"""Tests for the EG(T) models (paper section 2, Fig. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.physics.bandgap import (
+    EG1_REFERENCE_K,
+    LinearBandgap,
+    PAPER_MODEL_PARAMETERS,
+    ThurmondLogBandgap,
+    VarshniBandgap,
+    model_disagreement_at_zero,
+    paper_models,
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return paper_models()
+
+
+class TestPaperCoefficients:
+    def test_registry_contains_all_five_curves(self, models):
+        assert sorted(models) == ["EG1", "EG2", "EG3", "EG4", "EG5"]
+
+    def test_eg2_zero_kelvin_value(self, models):
+        assert models["EG2"].eg_at_zero() == pytest.approx(1.1557)
+
+    def test_eg3_zero_kelvin_value(self, models):
+        assert models["EG3"].eg_at_zero() == pytest.approx(1.170)
+
+    def test_eg4_zero_kelvin_value(self, models):
+        assert models["EG4"].eg_at_zero() == pytest.approx(1.1663)
+
+    def test_eg5_zero_kelvin_value(self, models):
+        assert models["EG5"].eg_at_zero() == pytest.approx(1.1774)
+
+    def test_paper_quoted_22mev_disagreement(self, models):
+        # Paper: "The discrepancy between the EG5(0) and EG2(0) is about 22mV."
+        spread_mev = 1000.0 * model_disagreement_at_zero(models)
+        assert 21.0 <= spread_mev <= 23.0
+
+    def test_room_temperature_values_near_accepted_silicon_gap(self, models):
+        # Every model should land within ~15 meV of 1.12 eV at 300 K.
+        for name, model in models.items():
+            assert float(model.eg(300.0)) == pytest.approx(1.12, abs=0.015), name
+
+    def test_eg0_extrapolation_exceeds_every_true_zero_value(self, models):
+        # Fig. 1: the linear extrapolation EG0 sits above all EG(0) values.
+        eg0 = models["EG5"].extrapolated_eg0(EG1_REFERENCE_K)
+        for name in ("EG2", "EG3", "EG4", "EG5"):
+            assert eg0 > models[name].eg_at_zero(), name
+
+    def test_eg0_extrapolation_value(self, models):
+        # ~1.20 eV, the classic "VG0" bandgap-reference magic number.
+        eg0 = models["EG5"].extrapolated_eg0(EG1_REFERENCE_K)
+        assert eg0 == pytest.approx(1.2028, abs=5e-4)
+
+    def test_eg1_is_tangent_of_eg5_at_reference(self, models):
+        eg1, eg5 = models["EG1"], models["EG5"]
+        assert float(eg1.eg(EG1_REFERENCE_K)) == pytest.approx(
+            float(eg5.eg(EG1_REFERENCE_K)), abs=1e-12
+        )
+        assert float(eg1.deg_dt(EG1_REFERENCE_K)) == pytest.approx(
+            float(eg5.deg_dt(EG1_REFERENCE_K)), abs=1e-12
+        )
+
+
+class TestLinearBandgap:
+    def test_is_exactly_linear(self):
+        model = LinearBandgap(eg0=1.2, a=2.5e-4)
+        assert float(model.eg(0.0)) == pytest.approx(1.2)
+        assert float(model.eg(400.0)) == pytest.approx(1.2 - 0.1)
+
+    def test_derivative_is_constant(self):
+        model = LinearBandgap(eg0=1.2, a=2.5e-4)
+        assert float(model.deg_dt(10.0)) == float(model.deg_dt(400.0)) == -2.5e-4
+
+    def test_vector_evaluation(self):
+        model = LinearBandgap(eg0=1.2, a=2.5e-4)
+        temps = np.array([0.0, 100.0, 200.0])
+        np.testing.assert_allclose(model.eg(temps), [1.2, 1.175, 1.15])
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ModelError):
+            LinearBandgap(eg0=1.2, a=2.5e-4).eg(-1.0)
+
+
+class TestVarshniBandgap:
+    def test_zero_kelvin_is_eg0(self):
+        model = VarshniBandgap(**PAPER_MODEL_PARAMETERS["EG2"])
+        assert model.eg_at_zero() == pytest.approx(model.eg0)
+
+    def test_monotonically_decreasing(self):
+        model = VarshniBandgap(**PAPER_MODEL_PARAMETERS["EG3"])
+        temps = np.linspace(1.0, 450.0, 200)
+        values = model.eg(temps)
+        assert np.all(np.diff(values) < 0.0)
+
+    def test_derivative_matches_finite_difference(self):
+        model = VarshniBandgap(**PAPER_MODEL_PARAMETERS["EG2"])
+        for t in (50.0, 150.0, 300.0, 420.0):
+            numeric = (float(model.eg(t + 1e-3)) - float(model.eg(t - 1e-3))) / 2e-3
+            assert float(model.deg_dt(t)) == pytest.approx(numeric, rel=1e-6)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ModelError):
+            VarshniBandgap(eg0=1.17, alpha=4.7e-4, beta=0.0)
+
+    def test_derivative_vanishes_at_zero(self):
+        model = VarshniBandgap(**PAPER_MODEL_PARAMETERS["EG2"])
+        assert float(model.deg_dt(0.0)) == pytest.approx(0.0)
+
+
+class TestThurmondLogBandgap:
+    def test_zero_kelvin_is_eg0_despite_log_term(self):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        assert model.eg_at_zero() == pytest.approx(model.eg0)
+
+    def test_derivative_matches_finite_difference(self):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG4"])
+        for t in (50.0, 150.0, 300.0, 420.0):
+            numeric = (float(model.eg(t + 1e-3)) - float(model.eg(t - 1e-3))) / 2e-3
+            assert float(model.deg_dt(t)) == pytest.approx(numeric, rel=1e-6)
+
+    def test_derivative_raises_at_zero(self):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        with pytest.raises(ModelError):
+            model.deg_dt(0.0)
+
+    def test_xti_contribution_near_unity_for_eg5(self):
+        # b/k ~ -0.98 for EG5 -> contributes ~ +0.98 to XTI (paper eq. 12).
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        assert model.xti_contribution == pytest.approx(0.9816, abs=1e-3)
+
+    def test_decreasing_above_50k(self):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        temps = np.linspace(50.0, 450.0, 300)
+        assert np.all(np.diff(model.eg(temps)) < 0.0)
+
+
+class TestLinearisation:
+    @given(t_ref=st.floats(min_value=150.0, max_value=420.0))
+    def test_tangent_touches_curve_at_reference(self, t_ref):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        tangent = model.linearized(t_ref)
+        assert float(tangent.eg(t_ref)) == pytest.approx(float(model.eg(t_ref)), abs=1e-12)
+
+    @given(t_ref=st.floats(min_value=150.0, max_value=420.0))
+    def test_tangent_lies_above_concave_curve(self, t_ref):
+        # EG5 is concave (b<0 => EG'' = b/T < 0), so its tangent is an
+        # upper bound everywhere — the geometric reason EG0 over-estimates.
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        tangent = model.linearized(t_ref)
+        for t in (50.0, 200.0, 300.0, 450.0):
+            assert float(tangent.eg(t)) >= float(model.eg(t)) - 1e-12
+
+    def test_rejects_nonpositive_reference(self):
+        model = ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+        with pytest.raises(ModelError):
+            model.linearized(0.0)
+
+
+class TestFigure1Shape:
+    """The orderings visible in the paper's Fig. 1."""
+
+    def test_eg2_is_lowest_curve_at_room_temperature(self, models):
+        at_300 = {name: float(m.eg(300.0)) for name, m in models.items()}
+        assert min(at_300, key=at_300.get) == "EG2"
+
+    def test_all_models_within_plot_window(self, models):
+        # Fig. 1 y-axis: 1.06 to 1.22 eV over 0..450 K.
+        temps = np.linspace(0.0, 450.0, 91)
+        for name, model in models.items():
+            values = np.asarray(model.eg(temps), dtype=float)
+            assert values.min() > 1.05, name
+            assert values.max() < 1.23, name
+
+    def test_curves_converge_toward_high_temperature(self, models):
+        # The five models disagree most near 0 K and bunch up by ~300 K.
+        spread_at = lambda t: max(
+            float(m.eg(t)) for m in models.values()
+        ) - min(float(m.eg(t)) for m in models.values())
+        assert spread_at(0.0) > spread_at(300.0)

@@ -1,0 +1,139 @@
+"""Tests for the IS(T) derivation and SPICE identification (eqs. 2-12).
+
+The central property here is the paper's analytical result: the physical
+component product (eq. 2) collapses *exactly* onto the SPICE law (eq. 1)
+when the band gap follows the logarithmic model, with the identification
+of eq. 12.  That equivalence is tested both pointwise and as a hypothesis
+property over temperature and model coefficients.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import K_BOLTZMANN_EV
+from repro.errors import ModelError
+from repro.physics.bandgap import ThurmondLogBandgap
+from repro.physics.gummel import (
+    GummelNumberModel,
+    PhysicalSaturationCurrent,
+    spice_parameters_from_physics,
+)
+from repro.physics.mobility import MobilityPowerLaw
+from repro.physics.narrowing import FixedNarrowing
+
+
+class TestGummelNumberModel:
+    def test_anchored_at_reference(self):
+        model = GummelNumberModel(ng_ref=2e13, t_ref=300.0, exponent=0.2)
+        assert model.value(300.0) == pytest.approx(2e13)
+
+    def test_power_law(self):
+        model = GummelNumberModel(exponent=0.5)
+        assert model.value(600.0) / model.value(300.0) == pytest.approx(
+            math.sqrt(2.0), rel=1e-12
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            GummelNumberModel(ng_ref=0.0)
+        with pytest.raises(ModelError):
+            GummelNumberModel().value(-10.0)
+
+
+class TestSpiceIdentification:
+    def test_eq12_eg(self):
+        phys = PhysicalSaturationCurrent(narrowing=FixedNarrowing(0.045))
+        assert phys.spice_eg == pytest.approx(1.1774 - 0.045)
+
+    def test_eq12_xti(self):
+        phys = PhysicalSaturationCurrent(
+            mobility=MobilityPowerLaw(exponent=1.42),
+            gummel=GummelNumberModel(exponent=0.10),
+        )
+        b_over_k = -8.459e-5 / K_BOLTZMANN_EV
+        assert phys.spice_xti == pytest.approx(4.0 - 1.42 - 0.10 - b_over_k)
+
+    def test_matches_device_default_ground_truth(self):
+        # The repo-wide planted couple: BJTParameters defaults must equal
+        # the physics-derived values (single source of ground truth).
+        from repro.bjt import BJTParameters
+
+        phys = PhysicalSaturationCurrent()
+        params = BJTParameters()
+        assert params.eg == pytest.approx(phys.spice_eg, abs=5e-4)
+        assert params.xti == pytest.approx(phys.spice_xti, abs=5e-3)
+
+    def test_shortcut_function_agrees(self):
+        bandgap = ThurmondLogBandgap(eg0=1.1774, a=3.042e-4, b=-8.459e-5)
+        eg, xti = spice_parameters_from_physics(
+            bandgap, mobility_exponent=1.42, gummel_exponent=0.10, narrowing_ev=0.045
+        )
+        phys = PhysicalSaturationCurrent()
+        assert eg == pytest.approx(phys.spice_eg, rel=1e-12)
+        assert xti == pytest.approx(phys.spice_xti, rel=1e-12)
+
+
+class TestClosedFormEquivalence:
+    """Paper eq. 11: component product == SPICE closed form, exactly."""
+
+    def test_pointwise_default_model(self):
+        phys = PhysicalSaturationCurrent()
+        for t in (220.0, 260.0, 300.0, 340.0, 380.0, 420.0):
+            assert phys.is_component_form(t) == pytest.approx(
+                phys.is_closed_form(t), rel=1e-12
+            )
+
+    @settings(max_examples=60)
+    @given(
+        t=st.floats(min_value=200.0, max_value=450.0),
+        en=st.floats(min_value=0.8, max_value=2.2),
+        erho=st.floats(min_value=-0.5, max_value=0.8),
+        b=st.floats(min_value=-2.0e-4, max_value=-1.0e-5),
+    )
+    def test_equivalence_over_coefficient_space(self, t, en, erho, b):
+        phys = PhysicalSaturationCurrent(
+            bandgap=ThurmondLogBandgap(eg0=1.17, a=3.0e-4, b=b),
+            mobility=MobilityPowerLaw(exponent=en),
+            gummel=GummelNumberModel(exponent=erho),
+        )
+        assert phys.is_component_form(t) == pytest.approx(
+            phys.is_closed_form(t), rel=1e-10
+        )
+
+    def test_anchored_at_reference(self):
+        phys = PhysicalSaturationCurrent(is_ref=5e-17, t_ref=310.0)
+        assert phys.is_closed_form(310.0) == pytest.approx(5e-17)
+        assert phys.is_component_form(310.0) == pytest.approx(5e-17)
+
+
+class TestSaturationCurrentBehaviour:
+    def test_strongly_increasing_with_temperature(self):
+        phys = PhysicalSaturationCurrent()
+        assert phys.is_closed_form(400.0) > 1e3 * phys.is_closed_form(300.0)
+
+    def test_paper_sensitivity_claim(self):
+        # Paper section 3: "the sensitivity of IS with temperature is very
+        # important, around 20% per degree."  Our couple gives 15-22 %/K
+        # across the measurement range.
+        phys = PhysicalSaturationCurrent()
+        values = [phys.sensitivity_percent_per_kelvin(t) for t in (250.0, 275.0, 300.0)]
+        assert all(12.0 < v < 25.0 for v in values)
+        assert max(values) > 18.0
+
+    def test_sensitivity_matches_numeric_derivative(self):
+        phys = PhysicalSaturationCurrent()
+        t = 300.0
+        numeric = 100.0 * (
+            math.log(phys.is_closed_form(t + 0.01)) - math.log(phys.is_closed_form(t - 0.01))
+        ) / 0.02
+        assert phys.sensitivity_percent_per_kelvin(t) == pytest.approx(numeric, rel=1e-6)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ModelError):
+            PhysicalSaturationCurrent().is_closed_form(0.0)
+
+    def test_rejects_bad_anchor(self):
+        with pytest.raises(ModelError):
+            PhysicalSaturationCurrent(is_ref=-1e-17)

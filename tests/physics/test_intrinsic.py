@@ -1,0 +1,84 @@
+"""Tests for ni(T)/nie(T) (paper eqs. 3, 6, 10)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import K_BOLTZMANN_EV, NI_SILICON_300K
+from repro.errors import ModelError
+from repro.physics.bandgap import PAPER_MODEL_PARAMETERS, ThurmondLogBandgap
+from repro.physics.intrinsic import (
+    effective_intrinsic_concentration,
+    intrinsic_concentration,
+)
+from repro.physics.narrowing import FixedNarrowing
+
+
+@pytest.fixture(scope="module")
+def eg5():
+    return ThurmondLogBandgap(**PAPER_MODEL_PARAMETERS["EG5"])
+
+
+class TestIntrinsicConcentration:
+    def test_anchored_at_reference(self, eg5):
+        assert intrinsic_concentration(300.0, eg5) == pytest.approx(NI_SILICON_300K)
+
+    def test_monotonically_increasing(self, eg5):
+        values = [intrinsic_concentration(t, eg5) for t in (250.0, 300.0, 350.0, 400.0)]
+        assert values == sorted(values)
+
+    def test_decades_of_growth_over_paper_range(self, eg5):
+        # ni grows by roughly 6 decades from -50 C to +125 C (ni^2, which
+        # IS follows, grows by ~12 — why Fig. 5 spans 1e-14..1e-2 A).
+        lo = intrinsic_concentration(223.15, eg5)
+        hi = intrinsic_concentration(398.15, eg5)
+        assert 1e5 < hi / lo < 1e8
+
+    def test_boltzmann_form(self, eg5):
+        # ni^2 ratio must equal (T/T0)^3 * exp(EG(T0)/kT0 - EG(T)/kT) exactly.
+        t, t0 = 350.0, 300.0
+        ratio_sq = (intrinsic_concentration(t, eg5) / intrinsic_concentration(t0, eg5)) ** 2
+        expected = (t / t0) ** 3 * math.exp(
+            float(eg5.eg(t0)) / (K_BOLTZMANN_EV * t0) - float(eg5.eg(t)) / (K_BOLTZMANN_EV * t)
+        )
+        assert ratio_sq == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_nonpositive_temperature(self, eg5):
+        with pytest.raises(ModelError):
+            intrinsic_concentration(0.0, eg5)
+
+    @given(t=st.floats(min_value=200.0, max_value=450.0))
+    def test_positive_everywhere(self, eg5, t):
+        assert intrinsic_concentration(t, eg5) > 0.0
+
+
+class TestEffectiveIntrinsicConcentration:
+    def test_narrowing_increases_nie(self, eg5):
+        plain = intrinsic_concentration(300.0, eg5)
+        effective = effective_intrinsic_concentration(
+            300.0, eg5, narrowing=FixedNarrowing(0.045)
+        )
+        assert effective > plain
+
+    def test_exponential_narrowing_factor(self, eg5):
+        # nie^2/ni^2 = exp(dEG/kT) exactly (paper eq. 3).
+        delta = 0.045
+        t = 320.0
+        plain = intrinsic_concentration(t, eg5)
+        effective = effective_intrinsic_concentration(
+            t, eg5, narrowing=FixedNarrowing(delta)
+        )
+        assert (effective / plain) ** 2 == pytest.approx(
+            math.exp(delta / (K_BOLTZMANN_EV * t)), rel=1e-12
+        )
+
+    def test_zero_narrowing_is_identity(self, eg5):
+        assert effective_intrinsic_concentration(
+            310.0, eg5, narrowing=FixedNarrowing(0.0)
+        ) == pytest.approx(intrinsic_concentration(310.0, eg5))
+
+    def test_default_narrowing_applied(self, eg5):
+        assert effective_intrinsic_concentration(300.0, eg5) > intrinsic_concentration(
+            300.0, eg5
+        )

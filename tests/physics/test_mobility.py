@@ -1,0 +1,65 @@
+"""Tests for mobility/diffusivity laws (paper eq. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import thermal_voltage
+from repro.errors import ModelError
+from repro.physics.mobility import (
+    MobilityPowerLaw,
+    diffusivity_from_mobility,
+    einstein_diffusivity,
+)
+
+
+class TestMobilityPowerLaw:
+    def test_reference_anchoring(self):
+        law = MobilityPowerLaw(mu_ref=450.0, t_ref=300.0, exponent=1.42)
+        assert law.mobility(300.0) == pytest.approx(450.0)
+
+    def test_decreases_with_temperature(self):
+        law = MobilityPowerLaw()
+        assert law.mobility(350.0) < law.mobility(300.0) < law.mobility(250.0)
+
+    def test_power_law_exponent(self):
+        law = MobilityPowerLaw(exponent=1.5)
+        ratio = law.mobility(600.0) / law.mobility(300.0)
+        assert ratio == pytest.approx(2.0 ** (-1.5), rel=1e-12)
+
+    def test_diffusivity_exponent_is_one_minus_en(self):
+        # Paper eq. 4: Dnb ~ T^(1-EN).
+        law = MobilityPowerLaw(exponent=1.42)
+        ratio = law.diffusivity(600.0) / law.diffusivity(300.0)
+        assert ratio == pytest.approx(2.0 ** (1.0 - 1.42), rel=1e-12)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ModelError):
+            MobilityPowerLaw(mu_ref=-1.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ModelError):
+            MobilityPowerLaw().mobility(0.0)
+
+    @given(t=st.floats(min_value=100.0, max_value=500.0))
+    def test_positive_everywhere(self, t):
+        assert MobilityPowerLaw().diffusivity(t) > 0.0
+
+
+class TestEinsteinRelation:
+    def test_value(self):
+        assert einstein_diffusivity(450.0, 300.0) == pytest.approx(
+            thermal_voltage(300.0) * 450.0
+        )
+
+    def test_room_temperature_magnitude(self):
+        # D ~ 11.6 cm^2/s for mu = 450 cm^2/Vs — textbook silicon number.
+        assert einstein_diffusivity(450.0, 300.0) == pytest.approx(11.6, abs=0.2)
+
+    def test_rejects_nonpositive_mobility(self):
+        with pytest.raises(ModelError):
+            einstein_diffusivity(0.0, 300.0)
+
+    def test_wrapper_consistency(self):
+        direct = MobilityPowerLaw(mu_ref=500.0, exponent=1.3).diffusivity(330.0)
+        wrapped = diffusivity_from_mobility(500.0, 330.0, exponent=1.3)
+        assert direct == pytest.approx(wrapped, rel=1e-12)

@@ -1,0 +1,71 @@
+"""Tests for bandgap-narrowing models (paper eq. 3 / eq. 12)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.physics.narrowing import (
+    DEL_ALAMO_NARROWING,
+    FixedNarrowing,
+    SI_EMITTER_NARROWING_EV,
+    SIGE_HBT_NARROWING_EV,
+    SlotboomNarrowing,
+)
+
+
+class TestFixedNarrowing:
+    def test_default_is_paper_silicon_value(self):
+        assert FixedNarrowing().delta_eg(1e18) == pytest.approx(0.045)
+
+    def test_paper_quoted_brackets(self):
+        # Paper section 1: ~45 meV for Si emitters, ~150 meV for SiGe HBTs.
+        assert SI_EMITTER_NARROWING_EV == pytest.approx(0.045)
+        assert SIGE_HBT_NARROWING_EV == pytest.approx(0.150)
+
+    def test_independent_of_doping(self):
+        model = FixedNarrowing(0.045)
+        assert model.delta_eg(1e15) == model.delta_eg(1e20)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ModelError):
+            FixedNarrowing(-0.01)
+
+
+class TestSlotboomNarrowing:
+    def test_negligible_below_onset(self):
+        # At very light doping the smooth sqrt form leaves only a sub-meV
+        # residual (the law was calibrated for N >> 1e17).
+        assert SlotboomNarrowing().delta_eg(1e13) < 1e-3
+
+    def test_increases_with_doping(self):
+        model = SlotboomNarrowing()
+        assert model.delta_eg(1e19) > model.delta_eg(1e18) > model.delta_eg(1e17)
+
+    def test_high_peak_emitter_reaches_paper_magnitude(self):
+        # A modern emitter peak (>=1e20 cm^-3) should be in the multi-10 meV
+        # range the paper quotes.
+        value = SlotboomNarrowing().delta_eg(1e20)
+        assert 0.03 <= value <= 0.20
+
+    def test_rejects_nonpositive_doping(self):
+        with pytest.raises(ModelError):
+            SlotboomNarrowing().delta_eg(0.0)
+
+    @given(doping=st.floats(min_value=1e14, max_value=1e21))
+    def test_always_non_negative(self, doping):
+        assert SlotboomNarrowing().delta_eg(doping) >= 0.0
+
+
+class TestDelAlamoNarrowing:
+    def test_zero_at_onset(self):
+        assert DEL_ALAMO_NARROWING.delta_eg(7e17) == 0.0
+
+    def test_logarithmic_growth(self):
+        d1 = DEL_ALAMO_NARROWING.delta_eg(7e18)
+        d2 = DEL_ALAMO_NARROWING.delta_eg(7e19)
+        # One extra decade adds exactly e1*ln(10).
+        assert d2 - d1 == pytest.approx(18.7e-3 * 2.302585, rel=1e-6)
+
+    def test_rejects_nonpositive_doping(self):
+        with pytest.raises(ModelError):
+            DEL_ALAMO_NARROWING.delta_eg(-1.0)

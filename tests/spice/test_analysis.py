@@ -1,0 +1,96 @@
+"""Tests for sweeps and the self-heating loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice import (
+    Circuit,
+    CurrentSource,
+    Diode,
+    Resistor,
+    VoltageSource,
+    dc_sweep,
+    operating_point,
+    solve_with_self_heating,
+    temperature_sweep,
+)
+
+
+def diode_circuit():
+    c = Circuit()
+    c.add(VoltageSource("V1", "in", "0", 5.0))
+    c.add(Resistor("R1", "in", "d", 1e3))
+    c.add(Diode("D1", "d", "0"))
+    return c
+
+
+class TestDcSweep:
+    def test_sweep_shape(self):
+        result = dc_sweep(diode_circuit(), "V1", [1.0, 2.0, 3.0])
+        assert len(result) == 3
+        assert result.parameter == "V1"
+
+    def test_monotone_diode_drive(self):
+        result = dc_sweep(diode_circuit(), "V1", np.linspace(0.5, 5.0, 10))
+        vd = result.voltage("d")
+        assert np.all(np.diff(vd) > 0.0)
+
+    def test_source_value_restored(self):
+        c = diode_circuit()
+        dc_sweep(c, "V1", [1.0, 2.0])
+        assert c.element("V1").dc == 5.0
+
+    def test_rejects_non_source(self):
+        with pytest.raises(NetlistError):
+            dc_sweep(diode_circuit(), "R1", [1.0])
+
+
+class TestTemperatureSweep:
+    def test_diode_drop_ctat(self):
+        result = temperature_sweep(diode_circuit(), [250.0, 300.0, 350.0])
+        vd = result.voltage("d")
+        assert np.all(np.diff(vd) < 0.0)
+
+    def test_values_recorded(self):
+        temps = [260.0, 300.0, 340.0]
+        result = temperature_sweep(diode_circuit(), temps)
+        np.testing.assert_allclose(result.values, temps)
+        assert [p.temperature_k for p in result.points] == temps
+
+
+class TestSelfHeating:
+    def test_zero_rth_means_no_heating(self):
+        solution = solve_with_self_heating(diode_circuit(), 300.0, 0.0)
+        assert solution.self_heating_k == pytest.approx(0.0, abs=1e-9)
+
+    def test_die_warmer_than_ambient(self):
+        solution = solve_with_self_heating(diode_circuit(), 300.0, 200.0)
+        assert solution.self_heating_k > 0.0
+        # P ~ 5 V * 4.3 mA ~ 21 mW -> ~4.3 K rise at 200 K/W.
+        assert solution.self_heating_k == pytest.approx(
+            200.0 * solution.power_w, abs=1e-3
+        )
+
+    def test_power_magnitude(self):
+        solution = solve_with_self_heating(diode_circuit(), 300.0, 100.0)
+        assert 0.015 < solution.power_w < 0.03
+
+    def test_operating_point_at_die_temperature(self):
+        solution = solve_with_self_heating(diode_circuit(), 300.0, 500.0)
+        assert solution.operating_point.temperature_k == pytest.approx(solution.die_k)
+        assert solution.die_k > 300.0
+
+    def test_rejects_negative_rth(self):
+        with pytest.raises(ConvergenceError):
+            solve_with_self_heating(diode_circuit(), 300.0, -1.0)
+
+    def test_current_source_power(self):
+        # A 1 mA source into 1 kOhm delivers 1 mW.
+        c = Circuit()
+        c.add(CurrentSource("I1", "0", "out", 1e-3))
+        c.add(Resistor("R1", "out", "0", 1e3))
+        solution = solve_with_self_heating(c, 300.0, 100.0)
+        assert solution.power_w == pytest.approx(1e-3, rel=1e-6)
+        # The loop settles within its tol_k (1e-4 K) of the fixed point.
+        assert solution.self_heating_k == pytest.approx(0.1, abs=2e-4)

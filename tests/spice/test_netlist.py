@@ -1,0 +1,82 @@
+"""Tests for circuit/netlist bookkeeping."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.netlist import Circuit, is_ground
+from repro.spice.elements import Resistor, VoltageSource
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "ground"])
+    def test_aliases(self, name):
+        assert is_ground(name)
+
+    def test_regular_node(self):
+        assert not is_ground("out")
+
+    def test_ground_index_is_minus_one(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1e3))
+        assert c.node_index("0") == -1
+        assert c.node_index("gnd") == -1
+
+
+class TestCircuitConstruction:
+    def test_node_registration_order(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "b", 1e3))
+        c.add(Resistor("R2", "b", "c", 1e3))
+        assert c.nodes == ["a", "b", "c"]
+        assert c.node_index("b") == 1
+
+    def test_duplicate_element_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError):
+            c.add(Resistor("R1", "b", "0", 1e3))
+
+    def test_element_lookup(self):
+        c = Circuit()
+        r = Resistor("R1", "a", "0", 1e3)
+        c.add(r)
+        assert c.element("R1") is r
+        assert c.has_element("R1")
+        assert not c.has_element("R2")
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit().element("R1")
+
+    def test_unknown_node_raises(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(NetlistError):
+            c.node_index("z")
+
+    def test_invalid_node_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().add(Resistor("R1", "", "0", 1e3))
+
+    def test_chaining(self):
+        c = Circuit().add(Resistor("R1", "a", "0", 1e3)).add(
+            VoltageSource("V1", "a", "0", 1.0)
+        )
+        assert len(c) == 2
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().validate()
+
+    def test_floating_circuit_rejected(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "b", 1e3))
+        with pytest.raises(NetlistError):
+            c.validate()
+
+    def test_grounded_circuit_accepted(self):
+        c = Circuit()
+        c.add(Resistor("R1", "a", "0", 1e3))
+        c.validate()

@@ -1,0 +1,50 @@
+"""Unit tests for the op-amp macro-model in isolation."""
+
+import math
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.elements.opamp import OpAmp
+
+
+class TestTransferFunction:
+    def test_zero_input_sits_at_center(self):
+        amp = OpAmp("A", "p", "n", "o", rail_low=0.0, rail_high=5.0)
+        assert amp.output_value(0.0) == pytest.approx(2.5)
+
+    def test_small_signal_gain(self):
+        amp = OpAmp("A", "p", "n", "o", gain=1e4)
+        dv = 1e-7
+        slope = (amp.output_value(dv) - amp.output_value(-dv)) / (2.0 * dv)
+        assert slope == pytest.approx(1e4, rel=1e-3)
+
+    def test_saturates_at_rails(self):
+        amp = OpAmp("A", "p", "n", "o", gain=1e5, rail_low=0.0, rail_high=3.0)
+        assert amp.output_value(1.0) == pytest.approx(3.0, abs=1e-6)
+        assert amp.output_value(-1.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_static_offset(self):
+        amp = OpAmp("A", "p", "n", "o", gain=100.0, vos=1e-3)
+        # vdiff = -vos gives the center output.
+        assert amp.output_value(-1e-3) == pytest.approx(2.5)
+
+    def test_callable_offset_sees_temperature(self):
+        amp = OpAmp("A", "p", "n", "o", gain=100.0, vos=lambda t: 1e-5 * t)
+        assert amp.offset_at(300.0) == pytest.approx(3e-3)
+        assert amp.offset_at(400.0) == pytest.approx(4e-3)
+
+    def test_monotone_transfer(self):
+        amp = OpAmp("A", "p", "n", "o", gain=1e3)
+        values = [amp.output_value(v) for v in (-1e-2, -1e-3, 0.0, 1e-3, 1e-2)]
+        assert values == sorted(values)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_gain(self):
+        with pytest.raises(NetlistError):
+            OpAmp("A", "p", "n", "o", gain=0.0)
+
+    def test_rejects_inverted_rails(self):
+        with pytest.raises(NetlistError):
+            OpAmp("A", "p", "n", "o", rail_low=5.0, rail_high=0.0)

@@ -1,0 +1,136 @@
+"""Property-based tests of the DC solver on randomly generated circuits.
+
+These pin down solver *invariants* rather than specific answers:
+Kirchhoff conservation, superposition on linear networks, and
+monotonicity/ordering properties of nonlinear networks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import (
+    Circuit,
+    CurrentSource,
+    Diode,
+    Resistor,
+    VoltageSource,
+    operating_point,
+)
+from repro.spice.mna import MNASystem
+
+resistances = st.floats(min_value=10.0, max_value=1e6)
+sources = st.floats(min_value=-50.0, max_value=50.0)
+
+
+def ladder(resistor_values, v_source):
+    """A series-resistor ladder from a source to ground."""
+    circuit = Circuit("ladder")
+    circuit.add(VoltageSource("V1", "n0", "0", v_source))
+    for i, value in enumerate(resistor_values):
+        circuit.add(Resistor(f"R{i}", f"n{i}", f"n{i + 1}", value))
+    circuit.add(Resistor("RL", f"n{len(resistor_values)}", "0", 1e3))
+    return circuit
+
+
+class TestKirchhoffInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(resistances, min_size=1, max_size=6), v=sources)
+    def test_ladder_kcl(self, values, v):
+        circuit = ladder(values, v)
+        op = operating_point(circuit)
+        system = MNASystem(circuit)
+        assert system.kcl_residual(op.x) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(resistances, min_size=1, max_size=6), v=sources)
+    def test_ladder_voltages_monotone(self, values, v):
+        # Voltages along a single current path decay monotonically in
+        # magnitude from the source to ground.
+        circuit = ladder(values, v)
+        op = operating_point(circuit)
+        nodes = [f"n{i}" for i in range(len(values) + 1)]
+        magnitudes = [abs(op.voltage(node)) for node in nodes]
+        assert all(a >= b - 1e-9 for a, b in zip(magnitudes, magnitudes[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        r=resistances,
+        v1=st.floats(min_value=-20.0, max_value=20.0),
+        v2=st.floats(min_value=-20.0, max_value=20.0),
+    )
+    def test_superposition(self, r, v1, v2):
+        # Linear network: response to v1 + v2 equals the sum of the
+        # individual responses.
+        def solve(value):
+            circuit = Circuit()
+            circuit.add(VoltageSource("V1", "a", "0", value))
+            circuit.add(Resistor("R1", "a", "b", r))
+            circuit.add(Resistor("R2", "b", "0", 2.0 * r))
+            return operating_point(circuit).voltage("b")
+
+        assert solve(v1) + solve(v2) == pytest.approx(
+            solve(v1 + v2), rel=1e-7, abs=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        i1=st.floats(min_value=1e-6, max_value=1e-3),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_linearity_in_current(self, i1, scale):
+        def solve(value):
+            circuit = Circuit()
+            circuit.add(CurrentSource("I1", "0", "out", value))
+            circuit.add(Resistor("R1", "out", "0", 3.3e3))
+            return operating_point(circuit).voltage("out")
+
+        assert solve(i1 * scale) == pytest.approx(solve(i1) * scale, rel=1e-7)
+
+
+class TestNonlinearInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        v=st.floats(min_value=1.0, max_value=20.0),
+        r=st.floats(min_value=100.0, max_value=1e5),
+    )
+    def test_diode_dissipation_positive(self, v, r):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", v))
+        circuit.add(Resistor("R1", "in", "d", r))
+        circuit.add(Diode("D1", "d", "0"))
+        op = operating_point(circuit)
+        # The diode conducts: its voltage is positive and below the rail.
+        assert 0.0 < op.voltage("d") < v
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        v=st.floats(min_value=2.0, max_value=10.0),
+        n_diodes=st.integers(min_value=1, max_value=3),
+    )
+    def test_diode_stack_shares_voltage(self, v, n_diodes):
+        # A stack of identical diodes splits the total junction voltage
+        # equally.
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", v))
+        circuit.add(Resistor("R1", "in", "d0", 1e4))
+        for i in range(n_diodes):
+            circuit.add(Diode(f"D{i}", f"d{i}", f"d{i + 1}" if i + 1 < n_diodes else "0"))
+        op = operating_point(circuit)
+        drops = []
+        for i in range(n_diodes):
+            top = op.voltage(f"d{i}")
+            bottom = op.voltage(f"d{i + 1}") if i + 1 < n_diodes else 0.0
+            drops.append(top - bottom)
+        assert np.allclose(drops, drops[0], atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(t=st.floats(min_value=230.0, max_value=400.0))
+    def test_warmer_diode_drops_less(self, t):
+        def drop(temperature):
+            circuit = Circuit()
+            circuit.add(CurrentSource("I1", "0", "d", 1e-5))
+            circuit.add(Diode("D1", "d", "0"))
+            return operating_point(circuit, temperature).voltage("d")
+
+        assert drop(t + 10.0) < drop(t)

@@ -1,0 +1,54 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        status = main(["fig1"])
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "Fig. 1" in output
+        assert "PASS" in output
+
+    def test_multiple_experiments(self, capsys):
+        status = main(["fig1", "ablation_current_ratio"])
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "Fig. 1" in output
+        assert "eq. 19-20" in output
+
+    def test_help(self, capsys):
+        status = main(["--help"])
+        output = capsys.readouterr().out
+        assert status == 0
+        assert "fig8" in output
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["fig99"])
+
+    def test_export(self, tmp_path, capsys):
+        status = main(["--export", str(tmp_path), "fig1"])
+        assert status == 0
+        exported = tmp_path / "fig1.csv"
+        assert exported.exists()
+        content = exported.read_text()
+        assert "EG5" in content
+        assert "# check" in content
+
+    def test_export_missing_directory(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--export", "/nonexistent/dir", "fig1"])
+
+    def test_export_without_argument(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--export"])

@@ -1,0 +1,112 @@
+"""Tests for unit helpers and constants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import (
+    K_BOLTZMANN,
+    K_BOLTZMANN_EV,
+    K_OVER_Q,
+    Q_ELECTRON,
+    thermal_voltage,
+)
+from repro.units import (
+    celsius_range_to_kelvin,
+    celsius_to_kelvin,
+    ev_to_joule,
+    format_si,
+    joule_to_ev,
+    kelvin_to_celsius,
+    parse_si,
+)
+
+
+class TestConstants:
+    def test_thermal_voltage_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(25.85e-3, abs=0.05e-3)
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+    def test_k_over_q_consistency(self):
+        assert K_OVER_Q == pytest.approx(K_BOLTZMANN / Q_ELECTRON, rel=1e-15)
+
+    def test_boltzmann_ev(self):
+        assert K_BOLTZMANN_EV == pytest.approx(8.617333e-5, rel=1e-6)
+
+
+class TestTemperatureConversions:
+    def test_zero_celsius(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_paper_reference_point(self):
+        # The paper's T2 = 25 C reference is 297-298 K (Table 1 rounds to 297).
+        assert celsius_to_kelvin(25.0) == pytest.approx(298.15)
+
+    @given(t=st.floats(min_value=-273.0, max_value=1000.0))
+    def test_round_trip(self, t):
+        assert kelvin_to_celsius(celsius_to_kelvin(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            celsius_to_kelvin(-300.0)
+        with pytest.raises(ValueError):
+            kelvin_to_celsius(-1.0)
+
+    def test_range_conversion(self):
+        kelvins = celsius_range_to_kelvin([-50.0, 25.0, 125.0])
+        assert kelvins == pytest.approx([223.15, 298.15, 398.15])
+
+
+class TestEnergyConversions:
+    @given(e=st.floats(min_value=1e-3, max_value=10.0))
+    def test_round_trip(self, e):
+        assert joule_to_ev(ev_to_joule(e)) == pytest.approx(e, rel=1e-12)
+
+    def test_silicon_gap_in_joules(self):
+        assert ev_to_joule(1.12) == pytest.approx(1.794e-19, rel=1e-3)
+
+
+class TestSiFormatting:
+    def test_millivolts(self):
+        assert format_si(53.22e-3, "V") == "53.22 mV"
+
+    def test_unit_scale(self):
+        assert format_si(2.5, "V") == "2.5 V"
+
+    def test_femtoamps(self):
+        assert format_si(1.2e-17, "A", digits=3).endswith("fA")
+
+    def test_zero(self):
+        assert format_si(0.0, "A") == "0 A"
+
+    def test_negative(self):
+        assert format_si(-4.5e-3, "V") == "-4.5 mV"
+
+
+class TestSiParsing:
+    @pytest.mark.parametrize(
+        "text, value",
+        [
+            ("2k", 2e3),
+            ("25K", 25e3),
+            ("40k", 40e3),
+            ("1.8k", 1.8e3),
+            ("100n", 1e-7),
+            ("3meg", 3e6),
+            ("0.5", 0.5),
+            ("1e-6", 1e-6),
+            ("10u", 1e-5),
+        ],
+    )
+    def test_spice_suffixes(self, text, value):
+        assert parse_si(text) == pytest.approx(value, rel=1e-12)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_si("abc")
+        with pytest.raises(ValueError):
+            parse_si("")
