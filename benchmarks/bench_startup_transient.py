@@ -1,0 +1,10 @@
+"""Benchmark: VDD-ramp startup transient of both reference cells."""
+
+from repro.experiments import run_experiment
+
+from .conftest import assert_and_report
+
+
+def test_startup_transient(benchmark):
+    result = benchmark(run_experiment, "startup_transient")
+    assert_and_report(result)

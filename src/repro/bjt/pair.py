@@ -25,6 +25,22 @@ from .parameters import BJTParameters, PAPER_PNP_SMALL
 from .substrate import SubstratePNP
 
 
+def derive_qb_params(
+    base_params: BJTParameters, area_ratio: float, is_mismatch: float = 1.0
+) -> BJTParameters:
+    """QB's parameters: the area-scaled unit device with IS mismatch.
+
+    The one place the "QB is an area-``p`` copy of QA, mismatched in
+    IS" rule lives — the behavioural pair, the Fig. 3 cell netlist and
+    the sub-1V netlist all derive QB through here so they cannot drift
+    apart.
+    """
+    params = base_params.scaled(area_ratio, name="QB")
+    if is_mismatch != 1.0:
+        params = replace(params, is_=params.is_ * is_mismatch)
+    return params
+
+
 @dataclass
 class MatchedPair:
     """QA (1x) / QB (p-times) matched pair biased at equal currents.
@@ -55,12 +71,10 @@ class MatchedPair:
             raise ModelError("the paper requires an area ratio p > 1")
         if self.is_mismatch <= 0.0:
             raise ModelError("IS mismatch factor must be positive")
-        params_a = self.base_params
-        params_b = self.base_params.scaled(self.area_ratio, name="QB")
-        if self.is_mismatch != 1.0:
-            params_b = replace(params_b, is_=params_b.is_ * self.is_mismatch)
-        self.qa = GummelPoonModel(params_a)
-        self.qb = GummelPoonModel(params_b)
+        self.qa = GummelPoonModel(self.base_params)
+        self.qb = GummelPoonModel(
+            derive_qb_params(self.base_params, self.area_ratio, self.is_mismatch)
+        )
 
     # ------------------------------------------------------------------
     def ideal_delta_vbe(self, temperature_k: float) -> float:

@@ -6,14 +6,24 @@
   test cell as a netlist builder;
 * :mod:`repro.circuits.trim` — the RadjA/ADJ trim machinery;
 * :mod:`repro.circuits.reference` — a closed-form behavioural model of
-  the same cell for fast sweeps and Monte-Carlo.
+  the same cell for fast sweeps and Monte-Carlo;
+* :mod:`repro.circuits.sub1v` — the sub-1V current-mode reference, both
+  closed-form and as a netlist (Banba topology);
+* :mod:`repro.circuits.startup` — supply-ramp startup versions of the
+  reference cells for the transient engine.
 """
 
 from .bias_pair import BiasPairConfig, BiasedPair
 from .bandgap_cell import BandgapCellConfig, build_bandgap_cell, CellNodes
 from .trim import TrimNetwork, PAPER_RADJA_SWEEP_OHM
 from .reference import BehaviouralBandgap
-from .sub1v import Sub1VBandgap, Sub1VConfig
+from .sub1v import Sub1VBandgap, Sub1VConfig, build_sub1v_cell
+from .startup import (
+    StartupRampConfig,
+    Sub1VStartupConfig,
+    build_startup_bandgap_cell,
+    build_startup_sub1v_cell,
+)
 
 __all__ = [
     "BiasPairConfig",
@@ -26,4 +36,9 @@ __all__ = [
     "BehaviouralBandgap",
     "Sub1VBandgap",
     "Sub1VConfig",
+    "build_sub1v_cell",
+    "StartupRampConfig",
+    "Sub1VStartupConfig",
+    "build_startup_bandgap_cell",
+    "build_startup_sub1v_cell",
 ]

@@ -1,0 +1,37 @@
+"""Shared amplifier-wiring idiom for the reference-cell builders.
+
+Both netlist builders (the Fig. 3 test cell and the sub-1V Banba cell)
+close their loop with an op-amp macro that may drive the target node
+through a finite output resistance — the knob that, together with a
+load capacitor, gives the startup transient its time constant.  The
+node-aliasing and validation live here once so the builders cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from ..spice.elements import OpAmp, Resistor
+from ..spice.netlist import Circuit
+
+
+def attach_amplifier(
+    circuit: Circuit,
+    inp: str,
+    inn: str,
+    target: str,
+    output_resistance: float = 0.0,
+    **opamp_kwargs,
+) -> None:
+    """Add an op-amp ``AMP`` driving ``target``, through ``ROUT`` if a
+    positive ``output_resistance`` is given (via the internal node
+    ``<target>#amp``, following the ``#`` convention of the BJT
+    expansion so it cannot collide with a user-named cell node);
+    remaining keyword arguments go to :class:`OpAmp`.
+    """
+    if output_resistance < 0.0:
+        raise NetlistError("amplifier output resistance must be non-negative")
+    amp_out = target if output_resistance == 0.0 else f"{target}#amp"
+    circuit.add(OpAmp("AMP", inp, inn, amp_out, **opamp_kwargs))
+    if output_resistance > 0.0:
+        circuit.add(Resistor("ROUT", amp_out, target, output_resistance))

@@ -36,9 +36,10 @@ from typing import Optional
 from ..bjt.parameters import BJTParameters, PAPER_PNP_SMALL
 from ..bjt.substrate import SubstratePNP
 from ..errors import NetlistError
-from ..spice.elements import OpAmp, Resistor, VoltageSource
+from ..spice.elements import Resistor, VoltageSource
 from ..spice.elements.bjt import add_bjt
 from ..spice.netlist import Circuit
+from .amplifier import attach_amplifier
 from .trim import TrimNetwork
 
 
@@ -106,12 +107,9 @@ class BandgapCellConfig:
 
     def qb_params(self) -> BJTParameters:
         """QB: area-scaled copy of the unit device with IS mismatch."""
-        from dataclasses import replace
+        from ..bjt.pair import derive_qb_params
 
-        scaled = self.params.scaled(self.area_ratio, name="QB")
-        if self.is_mismatch != 1.0:
-            scaled = replace(scaled, is_=scaled.is_ * self.is_mismatch)
-        return scaled
+        return derive_qb_params(self.params, self.area_ratio, self.is_mismatch)
 
     def trim(self) -> TrimNetwork:
         """The trim network corresponding to this configuration."""
@@ -131,8 +129,20 @@ class BandgapCellConfig:
 def build_bandgap_cell(
     config: Optional[BandgapCellConfig] = None,
     nodes: CellNodes = CellNodes(),
+    supply_node: Optional[str] = None,
+    amp_output_resistance: float = 0.0,
 ) -> Circuit:
-    """Build the test-cell netlist for the given configuration."""
+    """Build the test-cell netlist for the given configuration.
+
+    ``supply_node`` makes the amplifier's upper rail track that node's
+    voltage instead of the fixed ``rail_high`` (the startup-transient
+    hook: the caller wires a ramped VDD source to it);
+    ``amp_output_resistance`` inserts a series resistor between the
+    amplifier output and ``vref`` so the reference node has a finite
+    drive impedance — with a load capacitor this is what gives the
+    startup waveform its time constant.  Both default to off, leaving
+    the DC cell exactly as before.
+    """
     config = config or BandgapCellConfig()
     circuit = Circuit(title="bandgap test cell (paper Fig. 3)")
     tc = config.resistor_tc1
@@ -160,15 +170,15 @@ def build_bandgap_cell(
 
     # The amplifier, with the RadjA trim folded into its offset law.
     trim = config.trim()
-    circuit.add(
-        OpAmp(
-            "AMP",
-            nodes.p4,
-            nodes.nb,
-            nodes.vref,
-            gain=config.opamp_gain,
-            vos=trim.offset_law(),
-        )
+    attach_amplifier(
+        circuit,
+        nodes.p4,
+        nodes.nb,
+        nodes.vref,
+        output_resistance=amp_output_resistance,
+        gain=config.opamp_gain,
+        vos=trim.offset_law(),
+        supply=supply_node,
     )
 
     # Measurement tap for pad P5: a series source models the path offset

@@ -1,0 +1,133 @@
+"""Supply-ramp startup versions of the reference circuits.
+
+The classic failure mode of references like the paper's cell is the
+startup transient: the amplifier loop has a degenerate near-zero-current
+state at VDD = 0, and the circuit only reaches the bandgap operating
+point once the ramping supply opens the amplifier's output window.  The
+builders here take the DC netlists of :mod:`repro.circuits.bandgap_cell`
+and :mod:`repro.circuits.sub1v`, make the amplifier rails track a
+``vdd`` node, wire a PULSE-ramped supply to it, give the amplifier a
+finite output resistance and hang load/compensation capacitors on the
+reference node — everything the transient engine needs to produce a real
+settling waveform instead of a quasi-static one.
+
+The companion experiment (``experiments/startup_transient.py``) ramps
+VDD, integrates through the snap-on, and asserts the settled output
+matches the powered-up DC operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import NetlistError
+from ..spice.elements import Capacitor, VoltageSource
+from ..spice.elements.sources import Pulse
+from ..spice.netlist import Circuit
+from .bandgap_cell import BandgapCellConfig, CellNodes, build_bandgap_cell
+from .sub1v import Sub1VConfig, build_sub1v_cell
+
+#: Node the ramped supply drives (the amplifier's sensed rail).
+SUPPLY_NODE = "vdd"
+
+
+@dataclass(frozen=True)
+class StartupRampConfig:
+    """Shape of the VDD ramp and the output-node dynamics."""
+
+    #: Final supply voltage [V].
+    vdd: float = 5.0
+    #: Time the supply stays at 0 before ramping [s].
+    delay: float = 5e-6
+    #: 0 -> VDD ramp duration [s].
+    ramp: float = 50e-6
+    #: Amplifier output resistance [ohm] — with ``c_load`` this sets the
+    #: dominant startup time constant (tau = r_out * c_load).
+    amp_rout: float = 10e3
+    #: Load/compensation capacitor on the reference output [F].
+    c_load: float = 100e-12
+    #: Small parasitic capacitance on the amplifier input nodes [F]
+    #: (0 disables — the default: the branch-top poles are far above the
+    #: output pole and roughly triple the integration cost).
+    c_parasitic: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise NetlistError("final VDD must be positive")
+        if self.delay < 0.0 or self.ramp <= 0.0:
+            raise NetlistError("ramp timing must be non-negative / positive")
+        if self.amp_rout <= 0.0 or self.c_load <= 0.0:
+            raise NetlistError("output resistance and load cap must be positive")
+
+    def supply_source(self) -> VoltageSource:
+        """The ramped supply: a single-shot PULSE that never falls."""
+        return VoltageSource(
+            "VDD",
+            SUPPLY_NODE,
+            "0",
+            Pulse(0.0, self.vdd, delay=self.delay, rise=self.ramp),
+        )
+
+    @property
+    def t_on(self) -> float:
+        """Time at which the supply reaches its final value [s]."""
+        return self.delay + self.ramp
+
+
+def build_startup_bandgap_cell(
+    ramp: Optional[StartupRampConfig] = None,
+    cell: Optional[BandgapCellConfig] = None,
+    nodes: CellNodes = CellNodes(),
+) -> Circuit:
+    """The Fig. 3 test cell behind a ramping VDD.
+
+    Same topology as :func:`build_bandgap_cell`, plus: amplifier rails
+    tracking the ``vdd`` node, finite amplifier output resistance, the
+    PULSE supply, and the load/parasitic capacitors.
+    """
+    ramp = ramp or StartupRampConfig()
+    circuit = build_bandgap_cell(
+        cell,
+        nodes=nodes,
+        supply_node=SUPPLY_NODE,
+        amp_output_resistance=ramp.amp_rout,
+    )
+    circuit.add(ramp.supply_source())
+    circuit.add(Capacitor("CLOAD", nodes.vref, "0", ramp.c_load))
+    if ramp.c_parasitic > 0.0:
+        circuit.add(Capacitor("CP4", nodes.p4, "0", ramp.c_parasitic))
+        circuit.add(Capacitor("CNB", nodes.nb, "0", ramp.c_parasitic))
+    return circuit
+
+
+@dataclass(frozen=True)
+class Sub1VStartupConfig(StartupRampConfig):
+    """Sub-1V defaults: a 0.9 V supply and the same ramp shape."""
+
+    vdd: float = 0.9
+
+
+def build_startup_sub1v_cell(
+    ramp: Optional[Sub1VStartupConfig] = None,
+    config: Optional[Sub1VConfig] = None,
+) -> Circuit:
+    """The current-mode sub-1V reference behind a ramping VDD.
+
+    The load capacitor sits on the mirror-control node ``vc`` (the
+    compensation point of the Banba loop) and on the output.
+    """
+    ramp = ramp or Sub1VStartupConfig()
+    circuit = build_sub1v_cell(
+        config,
+        supply_node=SUPPLY_NODE,
+        amp_output_resistance=ramp.amp_rout,
+        rail_high=ramp.vdd,
+    )
+    circuit.add(ramp.supply_source())
+    circuit.add(Capacitor("CCOMP", "vc", "0", ramp.c_load))
+    circuit.add(Capacitor("CLOAD", "vref", "0", ramp.c_load))
+    if ramp.c_parasitic > 0.0:
+        circuit.add(Capacitor("CNA", "na", "0", ramp.c_parasitic))
+        circuit.add(Capacitor("CNB", "nb", "0", ramp.c_parasitic))
+    return circuit

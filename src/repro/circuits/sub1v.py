@@ -59,6 +59,13 @@ class Sub1VConfig:
         default_factory=lambda: SubstratePNP(area=1.0)
     )
     substrate_drive: float = 1.0
+    #: Transconductance of the (idealised) current mirrors in the
+    #: netlist realisation: each branch carries ``gm * v(ctl)`` [S].
+    #: Sized so the mirror control voltage sits mid-rail (~0.5 V) at the
+    #: ~20 uA total branch current of the defaults.
+    mirror_gm: float = 4.0e-5
+    #: Open-loop gain of the netlist realisation's error amplifier.
+    opamp_gain: float = 1.0e4
 
     def __post_init__(self) -> None:
         if min(self.r1, self.r2, self.r3) <= 0.0:
@@ -67,6 +74,10 @@ class Sub1VConfig:
             raise ModelError("area ratio must exceed 1")
         if not 0.0 <= self.substrate_drive <= 1.0:
             raise ModelError("substrate drive must be in [0, 1]")
+        if self.mirror_gm <= 0.0:
+            raise ModelError("mirror transconductance must be positive")
+        if self.opamp_gain <= 0.0:
+            raise ModelError("op-amp gain must be positive")
 
     @property
     def nominal_scale(self) -> float:
@@ -152,3 +163,84 @@ class Sub1VBandgap:
         current = self.vref(temperature_k)
         new_r3 = self.config.r3 * target_vref / current
         return Sub1VBandgap(replace(self.config, r3=new_r3))
+
+
+def build_sub1v_cell(
+    config: Optional[Sub1VConfig] = None,
+    supply_node: Optional[str] = None,
+    amp_output_resistance: float = 0.0,
+    rail_high: float = 0.9,
+):
+    """The current-mode reference as a netlist (Banba topology).
+
+    The PMOS mirror of the original is idealised as three matched VCCS
+    devices steered by the error amplifier's output ``vc``: each pushes
+    ``mirror_gm * v(vc)`` into branch A (QA + R2), branch B (R1 + QB +
+    R2) and the output resistor R3.  The amplifier equalises the branch
+    tops, reproducing ``VREF = R3 * (dVBE/R1 + VBE/R2)`` — the
+    closed-form law of :class:`Sub1VBandgap` — but now as a solvable
+    MNA system with real startup dynamics: with ``supply_node`` wired
+    to a ramped VDD the amplifier output window (and hence every branch
+    current) is collapsed until the supply comes up.
+
+    Node names: ``vc`` (mirror control), ``na``/``nb`` (branch tops),
+    ``nbmid`` (QB emitter below R1), ``vref`` (output).
+    """
+    from ..spice.elements import CurrentSource, Resistor, VCCS
+    from ..spice.elements.bjt import add_bjt
+    from ..spice.netlist import Circuit
+    from .amplifier import attach_amplifier
+
+    config = config or Sub1VConfig()
+    circuit = Circuit(title="sub-1V current-mode reference (Banba topology)")
+    tc = config.resistor_tc1
+    tnom = config.params.tnom
+    gm = config.mirror_gm
+
+    # Idealised mirror: identical currents into both branches + output.
+    circuit.add(VCCS("GA", "0", "na", "vc", "0", gm))
+    circuit.add(VCCS("GB", "0", "nb", "vc", "0", gm))
+    circuit.add(VCCS("GOUT", "0", "vref", "vc", "0", gm))
+
+    # Branch A: unit junction with its CTAT shunt.
+    from ..bjt.pair import derive_qb_params
+
+    qb_params = derive_qb_params(config.params, config.area_ratio, config.is_mismatch)
+    add_bjt(circuit, "QA", "0", "0", "na", config.params)
+    circuit.add(Resistor("R2A", "na", "0", config.r2, tc1=tc, tnom=tnom))
+
+    # Branch B: PTAT resistor over the area-scaled junction, same shunt.
+    circuit.add(Resistor("R1", "nb", "nbmid", config.r1, tc1=tc, tnom=tnom))
+    add_bjt(circuit, "QB", "0", "0", "nbmid", qb_params)
+    circuit.add(Resistor("R2B", "nb", "0", config.r2, tc1=tc, tnom=tnom))
+
+    # Output branch.
+    circuit.add(Resistor("R3", "vref", "0", config.r3, tc1=tc, tnom=tnom))
+
+    # Parasitic substrate leakage steals emitter current, as in the
+    # test cell (scaled by area for QB).
+    if config.substrate_unit is not None and config.substrate_drive > 0.0:
+        for dev, node, sub in (
+            ("QA", "na", config.substrate_unit),
+            ("QB", "nbmid", config.substrate_unit.scaled(config.area_ratio)),
+        ):
+            def leakage(temperature_k: float, _sub=sub) -> float:
+                return _sub.leakage_current(temperature_k) * config.substrate_drive
+
+            circuit.add(CurrentSource(f"ILEAK_{dev}", node, "0", leakage))
+
+    # Error amplifier: increasing vc raises both branch currents and
+    # *lowers* v(na) - v(nb), so (+) on branch A closes the loop with
+    # negative feedback.
+    attach_amplifier(
+        circuit,
+        "na",
+        "nb",
+        "vc",
+        output_resistance=amp_output_resistance,
+        gain=config.opamp_gain,
+        rail_low=0.0,
+        rail_high=rail_high,
+        supply=supply_node,
+    )
+    return circuit

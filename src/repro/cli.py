@@ -1,9 +1,11 @@
 """Command-line experiment runner: ``python -m repro [options] [experiment ...]``.
 
 With no experiment names, runs every registered experiment and prints
-the summary followed by each rendered section.  ``--export DIR`` also
-writes each regenerated table as ``DIR/<experiment>.csv``.  Exit status
-is non-zero if any shape check fails.
+the summary followed by each rendered section.  ``--list`` prints the
+registered experiment names (one per line) and exits; ``--export DIR``
+also writes each regenerated table as ``DIR/<experiment>.csv``.  Exit
+status is non-zero if any shape check fails, and 2 for usage errors
+(unknown experiment names are reported together with the registry).
 """
 
 from __future__ import annotations
@@ -11,9 +13,11 @@ from __future__ import annotations
 import sys
 from typing import List
 
-from .errors import ReproError
 from .experiments import EXPERIMENTS, render_result, render_summary, run_experiment
 from .experiments.export import write_csv
+
+#: Exit status for usage errors (unknown experiment, bad flags).
+USAGE_ERROR = 2
 
 
 def main(argv: List[str] = None) -> int:
@@ -22,15 +26,31 @@ def main(argv: List[str] = None) -> int:
         print(__doc__)
         print("Known experiments:", ", ".join(sorted(EXPERIMENTS)))
         return 0
+    if "--list" in argv:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
     export_dir = None
     if "--export" in argv:
         index = argv.index("--export")
         try:
             export_dir = argv[index + 1]
         except IndexError:
-            raise ReproError("--export requires a directory argument") from None
+            print("--export requires a directory argument", file=sys.stderr)
+            return USAGE_ERROR
         del argv[index : index + 2]
     names = argv or sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment{'s' if len(unknown) > 1 else ''}: "
+            + ", ".join(unknown),
+            file=sys.stderr,
+        )
+        print("registered experiments:", file=sys.stderr)
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}", file=sys.stderr)
+        return USAGE_ERROR
     results = {}
     for name in names:
         results[name] = run_experiment(name)

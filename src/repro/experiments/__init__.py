@@ -12,6 +12,7 @@ regenerates its data and checks the shape criteria of DESIGN.md:
 ``ablation_sensitivity``   E6/E7/E9 robustness claims
 ``ablation_current_ratio`` E8: the A = (kT2/q) ln X magnitude
 ``ablation_solver``        netlist vs behavioural cross-check
+``startup_transient``      VDD-ramp startup of both reference cells
 ======================  =========================================
 
 Use :func:`run_experiment`/:func:`run_all` or ``python -m repro``.
@@ -27,6 +28,7 @@ from . import (  # noqa: F401  (imports register the runners)
     table1_die_temperature,
     ablations,
     sub1v_extension,
+    startup_transient,
 )
 from .report import render_result, render_summary
 

@@ -13,9 +13,12 @@ offline, this package implements the needed subset from scratch:
   source stepping;
 * :mod:`repro.spice.analysis` — operating point, DC sweeps and
   temperature sweeps;
+* :mod:`repro.spice.transient` — time-domain transient analysis
+  (backward Euler / trapezoidal with LTE-driven adaptive timestepping);
 * :mod:`repro.spice.thermal` — the electro-thermal self-heating loop
   behind the paper's sensor-vs-die temperature discrepancy (Table 1);
-* :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser.
+* :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser
+  (including PULSE/PWL/SIN time-varying sources).
 """
 
 from .netlist import Circuit, GROUND
@@ -30,8 +33,10 @@ from .elements import (
     VCVS,
     VoltageSource,
 )
+from .elements.sources import PWL, Pulse, Sin, Waveform
 from .solver import SolverOptions, solve_dc
 from .analysis import OperatingPoint, SweepResult, dc_sweep, operating_point, temperature_sweep
+from .transient import TransientOptions, TransientResult, transient_analysis
 from .thermal import ThermalSolution, solve_with_self_heating
 from .parser import parse_netlist
 
@@ -47,6 +52,10 @@ __all__ = [
     "Diode",
     "SpiceBJT",
     "OpAmp",
+    "Waveform",
+    "Pulse",
+    "PWL",
+    "Sin",
     "SolverOptions",
     "solve_dc",
     "OperatingPoint",
@@ -54,6 +63,9 @@ __all__ = [
     "operating_point",
     "dc_sweep",
     "temperature_sweep",
+    "TransientOptions",
+    "TransientResult",
+    "transient_analysis",
     "ThermalSolution",
     "solve_with_self_heating",
     "parse_netlist",

@@ -1,8 +1,8 @@
 """Circuit elements for the MNA solver."""
 
-from .base import Element, Stamp, limited_exp
+from .base import DynamicState, Element, Stamp, TransientContext, limited_exp
 from .passives import Capacitor, Resistor
-from .sources import CurrentSource, VoltageSource
+from .sources import PWL, CurrentSource, Pulse, Sin, VoltageSource, Waveform
 from .controlled import CCCS, CCVS, VCCS, VCVS
 from .diode import Diode
 from .bjt import SpiceBJT
@@ -11,7 +11,13 @@ from .opamp import OpAmp
 __all__ = [
     "Element",
     "Stamp",
+    "DynamicState",
+    "TransientContext",
     "limited_exp",
+    "Waveform",
+    "Pulse",
+    "PWL",
+    "Sin",
     "Resistor",
     "Capacitor",
     "VoltageSource",

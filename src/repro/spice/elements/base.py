@@ -45,15 +45,83 @@ def limited_exp(arg: float) -> Tuple[float, float]:
     return edge * (1.0 + (arg - _MAX_EXP_ARG)), edge
 
 
+class DynamicState:
+    """Integrator history of one charge-storage element.
+
+    ``charge`` and ``current`` are the values at the last *accepted*
+    timepoint; the companion models in the transient stamps difference
+    against them.
+    """
+
+    __slots__ = ("charge", "current")
+
+    def __init__(self, charge: float = 0.0, current: float = 0.0):
+        self.charge = charge
+        self.current = current
+
+
+class TransientContext:
+    """Per-step integration context shared by all dynamic elements.
+
+    The discretised branch current of a charge-storage element is
+
+        i_n = alpha * (q_n - q_prev) - beta * i_prev
+
+    with ``alpha = 1/dt, beta = 0`` for backward Euler and
+    ``alpha = 2/dt, beta = 1`` for the trapezoidal rule.  ``states`` maps
+    element name -> :class:`DynamicState` holding ``q_prev``/``i_prev``;
+    the transient engine owns the dict and advances it only when a step
+    is accepted, so stamping is free of side effects and Newton may
+    re-evaluate at will.
+    """
+
+    __slots__ = ("dt", "method", "alpha", "beta", "states")
+
+    def __init__(self, dt: float, method: str, states: dict):
+        if dt <= 0.0:
+            raise ValueError(f"non-positive timestep {dt}")
+        if method == "be":
+            self.alpha = 1.0 / dt
+            self.beta = 0.0
+        elif method == "trap":
+            self.alpha = 2.0 / dt
+            self.beta = 1.0
+        else:
+            raise ValueError(f"unknown integration method {method!r}")
+        self.dt = dt
+        self.method = method
+        self.states = states
+
+    def discretised_current(self, element: "Element", charge: float) -> float:
+        """Companion-model branch current for the iterate's charge."""
+        state = self.states[element.name]
+        return self.alpha * (charge - state.charge) - self.beta * state.current
+
+
 class Stamp:
     """Assembly context handed to every element's ``stamp``.
 
     Wraps the residual vector ``F``, Jacobian ``J`` and current iterate
     ``x``; all index arguments are *global* unknown indices, with ``-1``
     meaning ground (contributions to ground are discarded).
+
+    ``time`` is the simulation time in seconds, or ``None`` for DC
+    analyses (time-varying sources then report their t=0 value);
+    ``transient`` is the :class:`TransientContext` of the step being
+    solved, or ``None`` for DC (charge-storage elements then stamp
+    nothing — a capacitor is an open circuit at DC).
     """
 
-    __slots__ = ("x", "jacobian", "residual", "temperature_k", "gmin", "source_scale")
+    __slots__ = (
+        "x",
+        "jacobian",
+        "residual",
+        "temperature_k",
+        "gmin",
+        "source_scale",
+        "time",
+        "transient",
+    )
 
     def __init__(
         self,
@@ -63,6 +131,8 @@ class Stamp:
         temperature_k: float,
         gmin: float,
         source_scale: float,
+        time: float = None,
+        transient: "TransientContext" = None,
     ):
         self.x = x
         self.jacobian = jacobian
@@ -70,6 +140,8 @@ class Stamp:
         self.temperature_k = temperature_k
         self.gmin = gmin
         self.source_scale = source_scale
+        self.time = time
+        self.transient = transient
 
     def v(self, index: int) -> float:
         """Voltage (or branch current) unknown at ``index``; 0 for ground."""
@@ -122,6 +194,9 @@ class Element:
 
     branch_count: int = 0
     is_nonlinear: bool = False
+    #: True for charge-storage elements that participate in transient
+    #: integration (they must implement :meth:`charge_at`).
+    is_dynamic: bool = False
 
     def __init__(self, name: str, nodes: Sequence[str]):
         self.name = name
@@ -151,6 +226,25 @@ class Element:
     # -- behaviour -----------------------------------------------------
     def stamp(self, stamp: Stamp) -> None:
         raise NotImplementedError
+
+    def charge_at(self, x: np.ndarray) -> float:
+        """Stored charge at the unknown vector ``x`` [C].
+
+        Dynamic elements (``is_dynamic = True``) must override; the
+        transient engine calls this to seed and advance the integrator
+        state (:class:`DynamicState`) at accepted timepoints.
+        """
+        raise NotImplementedError(f"{self.name} stores no charge")
+
+    def charge_scale(self) -> float:
+        """Charge-to-voltage conversion for LTE normalisation [F].
+
+        ``charge_at(x) / charge_scale()`` must be in volts; the
+        transient engine estimates local truncation error on exactly
+        this quantity (the SPICE convention: step control watches the
+        charge-storage elements, not the stiff algebraic nodes).
+        """
+        raise NotImplementedError(f"{self.name} stores no charge")
 
     def power(self, stamp: Stamp) -> float:
         """Dissipated power at the current iterate [W] (0 by default).

@@ -18,22 +18,36 @@ RadjA compensation: the drop of the replica substrate-leakage current
 through RadjA appears in series with the amplifier input, i.e. as a
 temperature-dependent offset.
 
-Inputs draw no current (ideal input stage).
+When a ``supply`` node is given, the upper rail *tracks that node's
+voltage* instead of the fixed ``rail_high`` — the hook the startup
+experiments use: with VDD at 0 V the output is pinned near ``rail_low``
+(the amplifier is off and the reference loop sits in its zero-current
+state), and only as VDD ramps does the output window — and with it the
+loop — open up.
+
+Inputs draw no current (ideal input stage); the supply sense also draws
+no current (the macro does not model quiescent supply current).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from ...errors import NetlistError
 from .base import Element, Stamp
 
 OffsetValue = Union[float, Callable[[float], float]]
 
+#: Minimum output swing [V] kept when the sensed supply collapses; a
+#: hard zero swing would make the branch equation degenerate (output
+#: exactly pinned with zero derivative everywhere), so the macro keeps a
+#: millivolt-scale window — electrically "off" but smooth for Newton.
+_MIN_SWING = 5e-4
+
 
 class OpAmp(Element):
-    """Op-amp with output branch (inp, inn, out)."""
+    """Op-amp with output branch (inp, inn, out[, supply])."""
 
     branch_count = 1
     is_nonlinear = True
@@ -48,8 +62,10 @@ class OpAmp(Element):
         vos: OffsetValue = 0.0,
         rail_low: float = 0.0,
         rail_high: float = 5.0,
+        supply: Optional[str] = None,
     ):
-        super().__init__(name, (inp, inn, out))
+        nodes = (inp, inn, out) if supply is None else (inp, inn, out, supply)
+        super().__init__(name, nodes)
         if gain <= 0.0:
             raise NetlistError(f"opamp {name}: gain must be positive")
         if rail_high <= rail_low:
@@ -58,6 +74,7 @@ class OpAmp(Element):
         self.vos = vos
         self.rail_low = rail_low
         self.rail_high = rail_high
+        self.supply = supply
 
     def offset_at(self, temperature_k: float) -> float:
         """Input offset voltage at temperature [V]."""
@@ -65,29 +82,63 @@ class OpAmp(Element):
             return float(self.vos(temperature_k))
         return float(self.vos)
 
-    def output_value(self, vdiff: float, temperature_k: float = 300.15) -> float:
+    def output_value(
+        self,
+        vdiff: float,
+        temperature_k: float = 300.15,
+        supply_v: Optional[float] = None,
+    ) -> float:
         """Clamped output voltage for a differential input [V]."""
-        value, _ = self._output_and_slope(vdiff, temperature_k)
+        value, _ = self._output_and_slope(vdiff, temperature_k, supply_v)
         return value
 
-    def _output_and_slope(self, vdiff: float, temperature_k: float):
-        center = 0.5 * (self.rail_high + self.rail_low)
-        swing = 0.5 * (self.rail_high - self.rail_low)
+    def _effective_rail_high(self, supply_v: Optional[float]):
+        """Upper rail and its sensitivity to the sensed supply voltage."""
+        if supply_v is None:
+            return self.rail_high, 0.0
+        floor = self.rail_low + 2.0 * _MIN_SWING
+        if supply_v <= floor:
+            return floor, 0.0
+        return supply_v, 1.0
+
+    def _output_and_slope(
+        self,
+        vdiff: float,
+        temperature_k: float,
+        supply_v: Optional[float] = None,
+    ):
+        rail_high, drail = self._effective_rail_high(supply_v)
+        center = 0.5 * (rail_high + self.rail_low)
+        swing = 0.5 * (rail_high - self.rail_low)
         arg = self.gain * (vdiff + self.offset_at(temperature_k)) / swing
         th = math.tanh(arg)
         value = center + swing * th
         slope = self.gain * (1.0 - th * th)
-        return value, slope
+        # d value / d rail_high: the center and swing both move with the
+        # rail, and the tanh argument shrinks as the window widens:
+        #   value = c + s*th,  dc/dr = ds/dr = 1/2,  darg/dr = -arg/(2s)
+        slope_rail = drail * 0.5 * (1.0 + th - arg * (1.0 - th * th))
+        return value, (slope, slope_rail)
 
     def stamp(self, stamp: Stamp) -> None:
-        inp, inn, out = self._node_idx
+        if self.supply is None:
+            inp, inn, out = self._node_idx
+            vdd_idx = -1
+            supply_v = None
+        else:
+            inp, inn, out, vdd_idx = self._node_idx
+            supply_v = stamp.v(vdd_idx)
         k = self.branch_index()
         i = stamp.v(k)
         stamp.add_residual(out, i)
         stamp.add_jacobian(out, k, 1.0)
         vdiff = stamp.v(inp) - stamp.v(inn)
-        value, slope = self._output_and_slope(vdiff, self.device_temperature(stamp))
+        value, (slope, slope_rail) = self._output_and_slope(
+            vdiff, self.device_temperature(stamp), supply_v
+        )
         stamp.add_residual(k, stamp.v(out) - value)
         stamp.add_jacobian(k, out, 1.0)
         stamp.add_jacobian(k, inp, -slope)
         stamp.add_jacobian(k, inn, slope)
+        if slope_rail != 0.0:
+            stamp.add_jacobian(k, vdd_idx, -slope_rail)

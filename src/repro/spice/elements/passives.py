@@ -64,12 +64,22 @@ class Resistor(Element):
 
 
 class Capacitor(Element):
-    """Capacitor — an open circuit at DC.
+    """Linear capacitor: open at DC, companion model in transient.
 
-    Registers its nodes (so netlists with decoupling caps parse into the
-    same topology) but stamps nothing; a floating node created this way
-    is kept solvable by the solver's gmin-to-ground.
+    At DC (``stamp.transient is None``) it registers its nodes but
+    stamps nothing; a floating node created this way is kept solvable by
+    the solver's gmin-to-ground.  During a transient step it stamps the
+    discretised branch current
+
+        i_n = alpha * (q(v_n) - q_prev) - beta * i_prev,  q(v) = C * v
+
+    where ``alpha``/``beta`` come from the step's integration rule
+    (backward Euler or trapezoidal — see
+    :class:`repro.spice.elements.base.TransientContext`), giving the
+    classic ``G_eq = alpha * C`` companion conductance in the Jacobian.
     """
+
+    is_dynamic = True
 
     def __init__(self, name: str, a: str, b: str, capacitance: float):
         super().__init__(name, (a, b))
@@ -77,5 +87,27 @@ class Capacitor(Element):
             raise NetlistError(f"capacitor {name}: non-positive value {capacitance}")
         self.capacitance = capacitance
 
+    def charge_at(self, x) -> float:
+        """Stored charge ``C * (v(a) - v(b))`` at the unknowns ``x`` [C]."""
+        a, b = self._node_idx
+        va = float(x[a]) if a >= 0 else 0.0
+        vb = float(x[b]) if b >= 0 else 0.0
+        return self.capacitance * (va - vb)
+
+    def charge_scale(self) -> float:
+        return self.capacitance
+
     def stamp(self, stamp: Stamp) -> None:
-        return None
+        ctx = stamp.transient
+        if ctx is None:
+            return None  # open circuit at DC
+        a, b = self._node_idx
+        charge = self.capacitance * (stamp.v(a) - stamp.v(b))
+        current = ctx.discretised_current(self, charge)
+        g_eq = ctx.alpha * self.capacitance
+        stamp.add_residual(a, current)
+        stamp.add_residual(b, -current)
+        stamp.add_jacobian(a, a, g_eq)
+        stamp.add_jacobian(a, b, -g_eq)
+        stamp.add_jacobian(b, a, -g_eq)
+        stamp.add_jacobian(b, b, g_eq)

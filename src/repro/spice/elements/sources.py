@@ -1,10 +1,12 @@
-"""Independent sources.
+"""Independent sources, including time-varying waveforms.
 
-Values may be plain floats or callables of temperature (kelvin) — the
+Values may be plain floats, callables of temperature (kelvin) — the
 latter models the paper's requirement of "an external current source that
 is not influenced by the temperature variation" versus the on-chip bias
 whose current *does* track temperature (eqs. 17-20 exist precisely
-because of that difference).
+because of that difference) — or :class:`Waveform` instances (PULSE,
+PWL, SIN) for transient analysis.  A waveform-valued source reports its
+t=0 value in DC analyses, matching SPICE.
 
 Sign conventions follow SPICE: for both source types the positive current
 flows *through the source* from node ``npos`` to node ``nneg``.  A supply
@@ -15,15 +17,197 @@ branch current when delivering power, and
 
 from __future__ import annotations
 
-from typing import Callable, Union
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 from ...errors import NetlistError
 from .base import Element, Stamp
 
-SourceValue = Union[float, Callable[[float], float]]
+
+class Waveform:
+    """Base class for time-varying source values.
+
+    Subclasses implement :meth:`value`; ``value(0.0)`` doubles as the DC
+    value of the source (the SPICE convention when no separate DC value
+    is given).  :meth:`breakpoints` and :meth:`suggested_max_dt` feed
+    the transient engine's step control: adaptive steppers must land a
+    timepoint on every slope discontinuity (or a narrow pulse between
+    two accepted points is silently skipped — the LTE estimate only
+    watches charge-storage elements) and must not step so far that a
+    smooth waveform is aliased.
+    """
+
+    def value(self, time: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self, t_start: float, t_stop: float) -> Tuple[float, ...]:
+        """Slope discontinuities inside ``(t_start, t_stop)`` [s]."""
+        return ()
+
+    def suggested_max_dt(self) -> Optional[float]:
+        """Timestep ceiling needed to resolve the waveform, if any [s]."""
+        return None
 
 
-def _evaluate(value: SourceValue, temperature_k: float) -> float:
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE ``PULSE(v1 v2 td tr tf pw per)`` waveform.
+
+    Starts at ``v1``, ramps linearly to ``v2`` over ``rise`` after
+    ``delay``, holds for ``width``, ramps back over ``fall``.  A ``None``
+    period means single-shot — the tail holds ``v1`` — and a ``None``
+    width holds ``v2`` forever (the supply-ramp idiom: a PULSE that
+    never falls; a period makes no sense then and is rejected).
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-9
+    fall: float = 1e-9
+    width: Optional[float] = None
+    period: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rise < 0.0 or self.fall < 0.0:
+            raise NetlistError("pulse rise/fall times must be non-negative")
+        if self.delay < 0.0:
+            raise NetlistError("pulse delay must be non-negative")
+        if self.width is not None and self.width < 0.0:
+            raise NetlistError("pulse width must be non-negative")
+        if self.period is not None:
+            if self.width is None:
+                raise NetlistError("periodic pulse requires a width")
+            if self.period <= 0.0:
+                raise NetlistError("pulse period must be positive")
+            if self.rise + self.width + self.fall > self.period:
+                raise NetlistError(
+                    "pulse rise + width + fall exceeds the period — the "
+                    "fall ramp would never execute"
+                )
+
+    def value(self, time: float) -> float:
+        t = time - self.delay
+        if self.period is not None:
+            t = math.fmod(t, self.period) if t >= 0.0 else t
+        if t <= 0.0:
+            return self.v1
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise
+        t -= self.rise
+        if self.width is None or t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall
+        return self.v1
+
+    def breakpoints(self, t_start: float, t_stop: float) -> Tuple[float, ...]:
+        corners = [0.0, self.rise]
+        if self.width is not None:
+            corners.append(self.rise + self.width)
+            corners.append(self.rise + self.width + self.fall)
+        # Start at the first cycle whose corners can reach past t_start
+        # (not cycle 0): the work must scale with the window, not with
+        # how long the source has already been running.
+        cycle = 0
+        if self.period is not None:
+            span = corners[-1]
+            cycle = max(0, math.floor((t_start - self.delay - span) / self.period))
+        points = []
+        while True:
+            base = self.delay + (cycle * self.period if self.period else 0.0)
+            if base > t_stop:
+                break
+            points.extend(
+                base + c for c in corners if t_start < base + c < t_stop
+            )
+            if self.period is None:
+                break
+            if len(points) > 500_000:
+                raise NetlistError(
+                    f"pulse {self!r} produces over {len(points)} breakpoints "
+                    f"in ({t_start:.3e}, {t_stop:.3e}) s — shrink the "
+                    "window or raise the period"
+                )
+            cycle += 1
+        return tuple(points)
+
+
+@dataclass(frozen=True)
+class PWL(Waveform):
+    """Piecewise-linear waveform through ``(time, value)`` points.
+
+    Holds the first value before the first point and the last value
+    after the last point; times must be strictly increasing.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        pts = tuple((float(t), float(v)) for t, v in points)
+        if len(pts) < 2:
+            raise NetlistError("PWL needs at least two (time, value) points")
+        for (t0, _), (t1, _) in zip(pts, pts[1:]):
+            if t1 <= t0:
+                raise NetlistError("PWL times must be strictly increasing")
+        object.__setattr__(self, "points", pts)
+
+    def value(self, time: float) -> float:
+        pts = self.points
+        if time <= pts[0][0]:
+            return pts[0][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if time <= t1:
+                return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+        return pts[-1][1]
+
+    def breakpoints(self, t_start: float, t_stop: float) -> Tuple[float, ...]:
+        return tuple(t for t, _ in self.points if t_start < t < t_stop)
+
+
+@dataclass(frozen=True)
+class Sin(Waveform):
+    """SPICE ``SIN(vo va freq td theta)`` damped sine waveform."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def __post_init__(self):
+        if self.frequency <= 0.0:
+            raise NetlistError("sine frequency must be positive")
+
+    def value(self, time: float) -> float:
+        t = time - self.delay
+        if t <= 0.0:
+            return self.offset
+        envelope = math.exp(-self.damping * t) if self.damping else 1.0
+        return self.offset + self.amplitude * envelope * math.sin(
+            2.0 * math.pi * self.frequency * t
+        )
+
+    def breakpoints(self, t_start: float, t_stop: float) -> Tuple[float, ...]:
+        # The sine is smooth except where it starts.
+        if t_start < self.delay < t_stop:
+            return (self.delay,)
+        return ()
+
+    def suggested_max_dt(self) -> Optional[float]:
+        # ~20 timepoints per cycle keeps the sine from being aliased
+        # even when nothing else in the circuit constrains the step.
+        return 1.0 / (20.0 * self.frequency)
+
+
+SourceValue = Union[float, Callable[[float], float], Waveform]
+
+
+def _evaluate(value: SourceValue, temperature_k: float, time: float = None) -> float:
+    if isinstance(value, Waveform):
+        return float(value.value(0.0 if time is None else time))
     if callable(value):
         return float(value(temperature_k))
     return float(value)
@@ -38,8 +222,8 @@ class VoltageSource(Element):
         super().__init__(name, (npos, nneg))
         self.dc = dc
 
-    def value_at(self, temperature_k: float) -> float:
-        return _evaluate(self.dc, temperature_k)
+    def value_at(self, temperature_k: float, time: float = None) -> float:
+        return _evaluate(self.dc, temperature_k, time)
 
     def stamp(self, stamp: Stamp) -> None:
         a, b = self._node_idx
@@ -51,7 +235,10 @@ class VoltageSource(Element):
         stamp.add_jacobian(a, k, 1.0)
         stamp.add_jacobian(b, k, -1.0)
         # Branch equation: v(npos) - v(nneg) = scaled source value.
-        target = self.value_at(self.device_temperature(stamp)) * stamp.source_scale
+        target = (
+            self.value_at(self.device_temperature(stamp), stamp.time)
+            * stamp.source_scale
+        )
         stamp.add_residual(k, stamp.v(a) - stamp.v(b) - target)
         stamp.add_jacobian(k, a, 1.0)
         stamp.add_jacobian(k, b, -1.0)
@@ -70,11 +257,14 @@ class CurrentSource(Element):
         super().__init__(name, (npos, nneg))
         self.dc = dc
 
-    def value_at(self, temperature_k: float) -> float:
-        return _evaluate(self.dc, temperature_k)
+    def value_at(self, temperature_k: float, time: float = None) -> float:
+        return _evaluate(self.dc, temperature_k, time)
 
     def stamp(self, stamp: Stamp) -> None:
-        value = self.value_at(self.device_temperature(stamp)) * stamp.source_scale
+        value = (
+            self.value_at(self.device_temperature(stamp), stamp.time)
+            * stamp.source_scale
+        )
         a, b = self._node_idx
         # Current leaves npos (into the source) and is delivered to nneg.
         stamp.add_residual(a, value)
@@ -87,5 +277,5 @@ class CurrentSource(Element):
         ``I * (v(nneg) - v(npos))`` to the external circuit.
         """
         a, b = self._node_idx
-        value = self.value_at(self.device_temperature(stamp))
+        value = self.value_at(self.device_temperature(stamp), stamp.time)
         return value * (stamp.v(b) - stamp.v(a))

@@ -23,6 +23,19 @@ from .elements.base import Stamp
 from .netlist import Circuit
 
 
+class _ResidualOnlyStamp(Stamp):
+    """Stamp variant that discards Jacobian contributions.
+
+    Used by residual-only assembly (line searches evaluate |F| many
+    times per Newton iteration and never look at J).
+    """
+
+    __slots__ = ()
+
+    def add_jacobian(self, row: int, col: int, value: float) -> None:
+        return None
+
+
 class MNASystem:
     """Assembles F(x) and J(x) for a circuit at given conditions."""
 
@@ -45,8 +58,16 @@ class MNASystem:
         x: np.ndarray,
         gmin: float = 1e-12,
         source_scale: float = 1.0,
+        time: float = None,
+        transient=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(J, F)`` at the iterate ``x``."""
+        """Return ``(J, F)`` at the iterate ``x``.
+
+        ``time`` (seconds) selects the instantaneous value of waveform
+        sources (``None`` = DC, i.e. their t=0 value); ``transient`` is
+        the integration context of the timestep being solved (``None``
+        = DC, i.e. charge-storage elements stamp nothing).
+        """
         jacobian = np.zeros((self.size, self.size))
         residual = np.zeros(self.size)
         stamp = Stamp(
@@ -56,15 +77,55 @@ class MNASystem:
             temperature_k=self.temperature_k,
             gmin=gmin,
             source_scale=source_scale,
+            time=time,
+            transient=transient,
         )
-        # gmin from every node to ground: keeps nodes with only junction
-        # connections (or floating capacitor nodes) well-conditioned.
+        self._stamp_all(stamp)
+        return jacobian, residual
+
+    def _stamp_all(self, stamp: Stamp) -> None:
+        """The one assembly body: gmin-to-ground plus every element.
+
+        The gmin conductance from every node to ground keeps nodes with
+        only junction connections (or floating capacitor nodes)
+        well-conditioned.  Shared by the full and residual-only paths so
+        the line-search residual can never drift from Newton's.
+        """
+        gmin = stamp.gmin
         for node_index in range(self.n_nodes):
             stamp.add_residual(node_index, gmin * stamp.v(node_index))
             stamp.add_jacobian(node_index, node_index, gmin)
         for element in self.circuit.elements:
             element.stamp(stamp)
-        return jacobian, residual
+
+    def assemble_residual(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        time: float = None,
+        transient=None,
+    ) -> np.ndarray:
+        """Return ``F(x)`` only — no Jacobian allocation or stamping.
+
+        The Newton line search evaluates the residual norm at several
+        trial damping factors per iteration; skipping the ``N x N``
+        Jacobian there roughly halves the cost of the hottest loop of
+        the transient engine.
+        """
+        residual = np.zeros(self.size)
+        stamp = _ResidualOnlyStamp(
+            x=x,
+            jacobian=None,
+            residual=residual,
+            temperature_k=self.temperature_k,
+            gmin=gmin,
+            source_scale=source_scale,
+            time=time,
+            transient=transient,
+        )
+        self._stamp_all(stamp)
+        return residual
 
     def kcl_residual(self, x: np.ndarray, gmin: float = 1e-12) -> float:
         """Infinity norm of the node-current residuals at ``x`` [A]."""

@@ -9,6 +9,7 @@ Supports the subset the library's circuits need::
     R1 a b 2k tc1=2e-3
     C1 a 0 10p
     V1 vdd 0 5
+    V2 vdd 0 PULSE(0 1.8 1u 50u 1u)   ; time-varying (also PWL, SIN)
     I1 0 bias 10u
     E1 out 0 p n 1000
     G1 out 0 p n 1m
@@ -26,6 +27,7 @@ like the programmatic API.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Tuple
 
 from ..bjt.parameters import BJTParameters
@@ -41,8 +43,11 @@ from .elements import (
     VCVS,
 )
 from .elements.bjt import add_bjt
-from .elements.sources import VoltageSource
+from .elements.sources import PWL, Pulse, Sin, VoltageSource
 from .netlist import Circuit
+
+#: ``PULSE(...)`` / ``PWL(...)`` / ``SIN(...)`` source-value syntax.
+_WAVEFORM_RE = re.compile(r"^(pulse|pwl|sin)\s*\((.*)\)$", re.IGNORECASE)
 
 #: .model BJT keyword -> BJTParameters field.
 _BJT_FIELDS = {
@@ -91,16 +96,36 @@ def _join_continuations(text: str) -> List[str]:
     return lines
 
 
-def _split_kwargs(tokens: List[str]) -> Tuple[List[str], Dict[str, float]]:
-    """Separate positional tokens from key=value tokens."""
+#: key=value parameters whose value is a node name, not a number
+#: (only honoured on the element kinds that declare them).
+_OPAMP_STRING_KEYS = frozenset({"supply"})
+
+
+def _split_kwargs(
+    tokens: List[str], string_keys: frozenset = frozenset()
+) -> Tuple[List[str], Dict[str, object]]:
+    """Separate positional tokens from key=value tokens.
+
+    Values parse as SI numbers except for keys in ``string_keys``,
+    which keep their raw text (node-name parameters).
+    """
     positional: List[str] = []
-    keywords: Dict[str, float] = {}
+    keywords: Dict[str, object] = {}
     for token in tokens:
         if "=" in token:
             key, _, value = token.partition("=")
             if not key or not value:
                 raise NetlistError(f"malformed parameter {token!r}")
-            keywords[key.lower()] = parse_si(value)
+            key = key.lower()
+            if key in string_keys:
+                keywords[key] = value
+            else:
+                try:
+                    keywords[key] = parse_si(value)
+                except ValueError:
+                    raise NetlistError(
+                        f"parameter {key}={value!r}: not a number"
+                    ) from None
         else:
             positional.append(token)
     return positional, keywords
@@ -173,6 +198,52 @@ def parse_netlist(text: str, title: str = "") -> Circuit:
     return circuit
 
 
+def _parse_source_value(name: str, tokens: List[str]):
+    """Parse a V/I source value: a number or a PULSE/PWL/SIN waveform."""
+
+    def to_number(token: str) -> float:
+        try:
+            return parse_si(token)
+        except ValueError:
+            raise NetlistError(
+                f"source {name}: bad numeric value {token!r}"
+            ) from None
+
+    tokens = [t for t in tokens if t.lower() != "dc"]
+    if not tokens:
+        raise NetlistError(f"source {name}: missing value")
+    joined = " ".join(tokens).strip()
+    match = _WAVEFORM_RE.match(joined)
+    if match is None:
+        if len(tokens) != 1:
+            raise NetlistError(f"source {name}: unrecognised value {joined!r}")
+        return to_number(tokens[0])
+    kind = match.group(1).lower()
+    args = [to_number(tok) for tok in re.split(r"[\s,]+", match.group(2).strip()) if tok]
+    if kind == "pulse":
+        if not 2 <= len(args) <= 7:
+            raise NetlistError(
+                f"source {name}: PULSE takes v1 v2 [td tr tf pw per], "
+                f"got {len(args)} values"
+            )
+        fields = dict(zip(("delay", "rise", "fall", "width", "period"), args[2:]))
+        return Pulse(args[0], args[1], **fields)
+    if kind == "sin":
+        if not 3 <= len(args) <= 5:
+            raise NetlistError(
+                f"source {name}: SIN takes vo va freq [td theta], "
+                f"got {len(args)} values"
+            )
+        fields = dict(zip(("delay", "damping"), args[3:]))
+        return Sin(args[0], args[1], args[2], **fields)
+    # PWL: alternating time/value pairs.
+    if len(args) < 4 or len(args) % 2:
+        raise NetlistError(
+            f"source {name}: PWL takes t1 v1 t2 v2 ... (pairs), got {len(args)} values"
+        )
+    return PWL(list(zip(args[0::2], args[1::2])))
+
+
 def _add_element(
     circuit: Circuit,
     tokens: List[str],
@@ -181,7 +252,8 @@ def _add_element(
 ) -> None:
     name = tokens[0]
     kind = name[0].upper()
-    positional, keywords = _split_kwargs(tokens[1:])
+    string_keys = _OPAMP_STRING_KEYS if kind == "A" else frozenset()
+    positional, keywords = _split_kwargs(tokens[1:], string_keys)
 
     if kind == "R":
         if len(positional) != 3:
@@ -195,15 +267,15 @@ def _add_element(
             raise NetlistError(f"capacitor {name}: expected 'C n1 n2 value'")
         circuit.add(Capacitor(name, positional[0], positional[1], parse_si(positional[2])))
     elif kind == "V":
-        values = [t for t in positional[2:] if t.lower() != "dc"]
-        if len(positional) < 3 or not values:
+        if len(positional) < 3:
             raise NetlistError(f"source {name}: expected 'V n+ n- value'")
-        circuit.add(VoltageSource(name, positional[0], positional[1], parse_si(values[0])))
+        value = _parse_source_value(name, positional[2:])
+        circuit.add(VoltageSource(name, positional[0], positional[1], value))
     elif kind == "I":
-        values = [t for t in positional[2:] if t.lower() != "dc"]
-        if len(positional) < 3 or not values:
+        if len(positional) < 3:
             raise NetlistError(f"source {name}: expected 'I n+ n- value'")
-        circuit.add(CurrentSource(name, positional[0], positional[1], parse_si(values[0])))
+        value = _parse_source_value(name, positional[2:])
+        circuit.add(CurrentSource(name, positional[0], positional[1], value))
     elif kind == "E":
         if len(positional) != 5:
             raise NetlistError(f"VCVS {name}: expected 'E out+ out- c+ c- gain'")
@@ -258,6 +330,7 @@ def _add_element(
                 vos=keywords.get("vos", 0.0),
                 rail_low=keywords.get("rail_low", 0.0),
                 rail_high=keywords.get("rail_high", 5.0),
+                supply=keywords.get("supply"),
             )
         )
     else:

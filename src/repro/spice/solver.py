@@ -79,8 +79,15 @@ def _newton(
     options: SolverOptions,
     gmin: float,
     source_scale: float,
+    time: float = None,
+    transient=None,
 ) -> Optional[RawSolution]:
-    """One damped Newton run; None if it does not converge."""
+    """One damped Newton run; None if it does not converge.
+
+    ``time``/``transient`` are forwarded to the assembly so the same
+    damping/line-search machinery serves the DC analyses and every
+    timestep re-solve of the transient engine.
+    """
     x = x0.copy()
     n_nodes = system.n_nodes
 
@@ -94,7 +101,9 @@ def _newton(
         return kcl < options.abstol and branch < options.vtol
 
     for iteration in range(1, options.max_iterations + 1):
-        jacobian, residual = system.assemble(x, gmin=gmin, source_scale=source_scale)
+        jacobian, residual = system.assemble(
+            x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
+        )
         norm = float(np.max(np.abs(residual)))
         if converged(residual):
             # The residual of *this* iterate is converged; return it.
@@ -118,8 +127,12 @@ def _newton(
         accepted = None
         for damping in ladder:
             candidate = x - damping * step
-            _, trial_residual = system.assemble(
-                candidate, gmin=gmin, source_scale=source_scale
+            trial_residual = system.assemble_residual(
+                candidate,
+                gmin=gmin,
+                source_scale=source_scale,
+                time=time,
+                transient=transient,
             )
             trial_norm = float(np.max(np.abs(trial_residual)))
             if trial_norm < norm:
@@ -134,6 +147,7 @@ def _gain_stepping(
     circuit: Circuit,
     start: np.ndarray,
     options: SolverOptions,
+    time: float = None,
 ) -> Optional[RawSolution]:
     """Ramp op-amp open-loop gains from ~1 to final, warm-starting."""
     from .elements.opamp import OpAmp
@@ -149,7 +163,9 @@ def _gain_stepping(
         while gain < max_gain:
             for amp, final in zip(amps, final_gains):
                 amp.gain = min(final, gain)
-            stage = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+            stage = _newton(
+                system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+            )
             if stage is None:
                 return None
             x = stage.x
@@ -157,7 +173,9 @@ def _gain_stepping(
     finally:
         for amp, final in zip(amps, final_gains):
             amp.gain = final
-    final_solution = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+    final_solution = _newton(
+        system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+    )
     if final_solution is not None:
         final_solution.strategy = "gain-stepping"
     return final_solution
@@ -168,8 +186,15 @@ def solve_dc(
     temperature_k: float = 300.15,
     options: Optional[SolverOptions] = None,
     x0: Optional[np.ndarray] = None,
+    time: float = None,
 ) -> RawSolution:
-    """Solve the DC operating point; raises ConvergenceError on failure."""
+    """Solve the DC operating point; raises ConvergenceError on failure.
+
+    ``time`` pins waveform sources to their instantaneous value at that
+    simulation time (capacitors stay open — this is still a DC solve);
+    the transient engine uses it to compute the pre-ramp initial point
+    and the post-ramp reference operating point.
+    """
     options = options or SolverOptions()
     system = MNASystem(circuit, temperature_k=temperature_k)
     start = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float).copy()
@@ -178,12 +203,14 @@ def solve_dc(
             f"initial point has {start.shape} unknowns, circuit needs {system.size}"
         )
 
-    solution = _newton(system, start, options, gmin=options.gmin, source_scale=1.0)
+    solution = _newton(
+        system, start, options, gmin=options.gmin, source_scale=1.0, time=time
+    )
     if solution is not None:
         return solution
 
     # Gain stepping (only useful when op-amp macros are present).
-    solution = _gain_stepping(system, circuit, start, options)
+    solution = _gain_stepping(system, circuit, start, options, time=time)
     if solution is not None:
         return solution
 
@@ -191,13 +218,15 @@ def solve_dc(
     x = start.copy()
     failed = False
     for gmin in options.gmin_ladder:
-        stage = _newton(system, x, options, gmin=gmin, source_scale=1.0)
+        stage = _newton(system, x, options, gmin=gmin, source_scale=1.0, time=time)
         if stage is None:
             failed = True
             break
         x = stage.x
     if not failed:
-        final = _newton(system, x, options, gmin=options.gmin, source_scale=1.0)
+        final = _newton(
+            system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+        )
         if final is not None:
             final.strategy = "gmin-stepping"
             return final
@@ -205,7 +234,9 @@ def solve_dc(
     # Source stepping.
     x = np.zeros(system.size)
     for scale in options.source_ramp:
-        stage = _newton(system, x, options, gmin=options.gmin, source_scale=scale)
+        stage = _newton(
+            system, x, options, gmin=options.gmin, source_scale=scale, time=time
+        )
         if stage is None:
             raise ConvergenceError(
                 f"DC solve failed (source stepping stalled at {scale:.0%}) "

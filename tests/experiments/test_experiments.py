@@ -31,6 +31,10 @@ class TestRegistry:
         ):
             assert name in EXPERIMENTS
 
+    def test_extensions_registered(self):
+        assert "sub1v_extension" in EXPERIMENTS
+        assert "startup_transient" in EXPERIMENTS
+
     def test_unknown_experiment_raises(self):
         with pytest.raises(ReproError):
             run_experiment("fig99")
@@ -50,6 +54,7 @@ class TestShapeChecks:
             "ablation_current_ratio",
             "ablation_solver",
             "sub1v_extension",
+            "startup_transient",
         ],
     )
     def test_experiment_passes(self, all_results, name):

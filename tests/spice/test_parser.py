@@ -157,3 +157,98 @@ class TestErrors:
     def test_malformed_model(self):
         with pytest.raises(NetlistError):
             parse_netlist(".model ONLYNAME")
+
+
+class TestWaveformSources:
+    def test_pulse_voltage_source(self):
+        from repro.spice.elements.sources import Pulse
+
+        circuit = parse_netlist(
+            """
+            V1 vdd 0 PULSE(0 1.8 1u 50u 1u)
+            R1 vdd 0 1k
+            """
+        )
+        wave = circuit.element("V1").dc
+        assert isinstance(wave, Pulse)
+        assert wave.v1 == 0.0
+        assert wave.v2 == pytest.approx(1.8)
+        assert wave.delay == pytest.approx(1e-6)
+        assert wave.rise == pytest.approx(50e-6)
+        assert wave.fall == pytest.approx(1e-6)
+        assert wave.width is None
+
+    def test_pulse_with_suffixed_numbers_and_commas(self):
+        circuit = parse_netlist("I1 0 out PULSE(0, 10u, 1u, 1n, 1n, 1m, 2m)\nR1 out 0 1k")
+        wave = circuit.element("I1").dc
+        assert wave.value(5e-4) == pytest.approx(10e-6)
+
+    def test_pulse_split_across_tokens_with_spaces(self):
+        circuit = parse_netlist("V1 a 0 PULSE (0 5 0 1u)\nR1 a 0 1k")
+        assert circuit.element("V1").dc.v2 == pytest.approx(5.0)
+
+    def test_sin_source(self):
+        from repro.spice.elements.sources import Sin
+
+        circuit = parse_netlist("V1 a 0 SIN(2.5 0.1 1meg)\nR1 a 0 1k")
+        wave = circuit.element("V1").dc
+        assert isinstance(wave, Sin)
+        assert wave.offset == pytest.approx(2.5)
+        assert wave.frequency == pytest.approx(1e6)
+
+    def test_pwl_source(self):
+        from repro.spice.elements.sources import PWL
+
+        circuit = parse_netlist("V1 a 0 PWL(0 0 1u 1 2u 0.5)\nR1 a 0 1k")
+        wave = circuit.element("V1").dc
+        assert isinstance(wave, PWL)
+        assert wave.value(1.5e-6) == pytest.approx(0.75)
+
+    def test_waveform_source_transient_end_to_end(self):
+        from repro.spice import transient_analysis
+
+        circuit = parse_netlist(
+            """
+            .title parsed rc
+            V1 in 0 PULSE(0 1 1u 0.1u)
+            R1 in out 1k
+            C1 out 0 1n
+            """
+        )
+        result = transient_analysis(circuit, 10e-6)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_plain_dc_value_still_parses(self):
+        circuit = parse_netlist("V1 a 0 dc 5\nR1 a 0 1k")
+        assert circuit.element("V1").dc == pytest.approx(5.0)
+
+    def test_opamp_supply_keyword(self):
+        circuit = parse_netlist("A1 p n out supply=vdd\nR1 vdd 0 1k\nR2 out 0 1k")
+        amp = circuit.element("A1")
+        assert amp.supply == "vdd"
+        assert amp.nodes == ("p", "n", "out", "vdd")
+
+    def test_supply_keyword_rejected_on_other_elements(self):
+        # supply= is an op-amp parameter; elsewhere it must still fail
+        # loudly (as any non-numeric kwarg does), not be dropped.
+        with pytest.raises(NetlistError):
+            parse_netlist("R1 a b 1k supply=vdd")
+
+    def test_malformed_pulse_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 PULSE(1)\nR1 a 0 1k")
+
+    def test_malformed_pwl_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 PWL(0 0 1u)\nR1 a 0 1k")
+
+    def test_garbage_source_value_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 5 extra\nR1 a 0 1k")
+
+    def test_non_numeric_source_value_raises_netlist_error(self):
+        # The parser's contract is NetlistError, never a raw ValueError.
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 foo\nR1 a 0 1k")
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 PULSE(0 abc)\nR1 a 0 1k")

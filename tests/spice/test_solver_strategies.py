@@ -1,0 +1,103 @@
+"""Solver fallback ladder: force each strategy and check its report.
+
+The DC solver tries plain Newton, then gain stepping (op-amp macros),
+then gmin stepping, then source stepping — each fallback engages only
+when everything before it failed, and stamps its name into
+``RawSolution.strategy``.  These tests construct circuits (and iteration
+budgets) that deterministically exercise each rung, so a refactor that
+silently reorders or breaks a rung fails loudly.
+"""
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.spice import Circuit, Resistor, SolverOptions, VoltageSource, solve_dc
+from repro.spice.elements.diode import Diode
+
+
+def diode_chain(n_diodes: int, load_ohm: float = 1e3, supply_v: float = 2.5) -> Circuit:
+    """A stiff series diode chain: hostile to cold-started Newton."""
+    circuit = Circuit(f"{n_diodes}-diode chain")
+    circuit.add(VoltageSource("V1", "n0", "0", supply_v))
+    circuit.add(Resistor("R1", "n0", "m0", 1e3))
+    for i in range(n_diodes):
+        circuit.add(Diode(f"D{i}", f"m{i}", f"m{i + 1}", is_=1e-15))
+    circuit.add(Resistor("RL", f"m{n_diodes}", "0", load_ohm))
+    return circuit
+
+
+class TestPlainNewton:
+    def test_linear_circuit_reports_newton(self):
+        circuit = Circuit("divider")
+        circuit.add(VoltageSource("V1", "in", "0", 2.0))
+        circuit.add(Resistor("R1", "in", "mid", 1e3))
+        circuit.add(Resistor("R2", "mid", "0", 1e3))
+        solution = solve_dc(circuit)
+        assert solution.strategy == "newton"
+
+    def test_diode_chain_with_full_budget_reports_newton(self):
+        solution = solve_dc(diode_chain(3))
+        assert solution.strategy == "newton"
+
+
+class TestGainStepping:
+    def test_bandgap_cell_cold_start_uses_gain_stepping(self):
+        from repro.circuits.bandgap_cell import build_bandgap_cell
+
+        solution = solve_dc(build_bandgap_cell())
+        assert solution.strategy == "gain-stepping"
+
+    def test_gain_stepping_restores_final_gains(self):
+        from repro.circuits.bandgap_cell import build_bandgap_cell
+        from repro.spice.elements.opamp import OpAmp
+
+        circuit = build_bandgap_cell()
+        amps = [el for el in circuit.elements if isinstance(el, OpAmp)]
+        gains = [amp.gain for amp in amps]
+        solve_dc(circuit)
+        assert [amp.gain for amp in amps] == gains
+
+    def test_sub1v_cell_cold_start_uses_gain_stepping(self):
+        from repro.circuits.sub1v import build_sub1v_cell
+
+        solution = solve_dc(build_sub1v_cell())
+        assert solution.strategy == "gain-stepping"
+
+
+class TestGminStepping:
+    def test_starved_newton_falls_back_to_gmin_stepping(self):
+        # 10 damped iterations are not enough for a cold start on the
+        # stiff chain, but each warm-started gmin stage converges fast;
+        # no op-amp is present, so gain stepping cannot fire first.
+        options = SolverOptions(max_iterations=10)
+        solution = solve_dc(diode_chain(3), options=options)
+        assert solution.strategy == "gmin-stepping"
+
+    def test_gmin_solution_is_the_true_operating_point(self):
+        options = SolverOptions(max_iterations=10)
+        starved = solve_dc(diode_chain(3), options=options)
+        reference = solve_dc(diode_chain(3))
+        assert reference.strategy == "newton"
+        assert starved.x == pytest.approx(reference.x, abs=1e-6)
+
+
+class TestSourceStepping:
+    def test_starved_newton_without_gmin_ladder_source_steps(self):
+        # With the gmin ladder disabled the only remaining fallback is
+        # the source ramp (the zero-source circuit solves trivially and
+        # each 10%-step warm start stays in the basin).
+        options = SolverOptions(max_iterations=8, gmin_ladder=())
+        solution = solve_dc(diode_chain(4, load_ohm=10.0), options=options)
+        assert solution.strategy == "source-stepping"
+
+    def test_source_stepping_solution_matches_reference(self):
+        options = SolverOptions(max_iterations=8, gmin_ladder=())
+        stepped = solve_dc(diode_chain(4, load_ohm=10.0), options=options)
+        reference = solve_dc(diode_chain(4, load_ohm=10.0))
+        assert stepped.x == pytest.approx(reference.x, abs=1e-6)
+
+    def test_exhausted_ladder_raises_convergence_error(self):
+        # 2 iterations are not enough for any rung of the ladder.
+        options = SolverOptions(max_iterations=2, gmin_ladder=())
+        with pytest.raises(ConvergenceError):
+            solve_dc(diode_chain(4, load_ohm=10.0), options=options)

@@ -26,11 +26,32 @@ class TestCli:
         assert status == 0
         assert "fig8" in output
 
-    def test_unknown_experiment_raises(self):
-        from repro.errors import ReproError
+    def test_unknown_experiment_fails_helpfully(self, capsys):
+        status = main(["fig99"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "unknown experiment" in err
+        assert "fig99" in err
+        # The failure lists the registry so the user can self-correct.
+        assert "registered experiments" in err
+        assert "fig8" in err
+        assert "startup_transient" in err
 
-        with pytest.raises(ReproError):
-            main(["fig99"])
+    def test_unknown_experiment_runs_nothing(self, capsys):
+        # A typo among valid names must not run the valid ones first.
+        status = main(["fig1", "fig99"])
+        captured = capsys.readouterr()
+        assert status == 2
+        assert "Fig. 1" not in captured.out
+
+    def test_list(self, capsys):
+        status = main(["--list"])
+        out = capsys.readouterr().out
+        assert status == 0
+        names = out.split()
+        assert "fig1" in names
+        assert "startup_transient" in names
+        assert names == sorted(names)
 
     def test_export(self, tmp_path, capsys):
         status = main(["--export", str(tmp_path), "fig1"])
@@ -47,8 +68,8 @@ class TestCli:
         with pytest.raises(ReproError):
             main(["--export", "/nonexistent/dir", "fig1"])
 
-    def test_export_without_argument(self):
-        from repro.errors import ReproError
-
-        with pytest.raises(ReproError):
-            main(["--export"])
+    def test_export_without_argument(self, capsys):
+        status = main(["--export"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "--export requires a directory argument" in err
