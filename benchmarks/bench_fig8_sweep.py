@@ -1,0 +1,56 @@
+"""Benchmark: the Fig. 8 temperature sweep at netlist level.
+
+The solver-bound workload behind the paper's closing figure: the full
+bandgap test cell solved across the -80..+145 C grid with warm-start
+chaining — the workload the compiled assembly engine and factorization
+reuse were built for.  A second benchmark runs the same grid for the
+whole six-configuration Fig. 8 family through ``solve_batch`` (one
+warm-start chain per configuration; REPRO_WORKERS fans chains out on
+multi-core hosts).
+
+Committed before/after (1-CPU container, see README "Performance"):
+single-chain sweep 0.128 s -> 0.039 s (3.2x) versus the pre-PR
+element-by-element assembler with per-iteration ``np.linalg.solve``.
+"""
+
+import numpy as np
+
+from repro.circuits.bandgap_cell import BandgapCellConfig, build_bandgap_cell
+from repro.experiments.fig8_vref_curves import FIG8_TEMPS_C
+from repro.spice.analysis import SweepChain, solve_batch, temperature_sweep
+from repro.units import celsius_to_kelvin
+
+TEMPS_K = tuple(celsius_to_kelvin(t) for t in FIG8_TEMPS_C)
+
+#: The Fig. 8 configuration family: nominal cell plus the RadjA sweep.
+CONFIGS = [
+    BandgapCellConfig(),
+    BandgapCellConfig(radja=1.8e3),
+    BandgapCellConfig(radja=2.5e3),
+    BandgapCellConfig(radja=2.7e3),
+]
+
+
+def _assert_vref_window(values: np.ndarray) -> None:
+    assert np.all((1.15 < values) & (values < 1.30)), values
+
+
+def test_fig8_netlist_temperature_sweep(benchmark):
+    """One warm-start chain over the full Fig. 8 temperature grid."""
+    circuit = build_bandgap_cell()
+    result = benchmark(temperature_sweep, circuit, TEMPS_K)
+    _assert_vref_window(result.voltage("vref"))
+
+
+def test_fig8_batch_all_configurations(benchmark):
+    """The whole configuration family as parallel warm-start chains."""
+    chains = [
+        SweepChain(builder=build_bandgap_cell, args=(config,), temperatures_k=TEMPS_K)
+        for config in CONFIGS
+    ]
+    results = benchmark(solve_batch, chains)
+    for result in results:
+        _assert_vref_window(result.voltage("vref"))
+    # RadjA progressively flattens the curve family, as in the paper.
+    spans = [float(np.ptp(result.voltage("vref"))) for result in results]
+    assert spans[0] > spans[-1]

@@ -3,24 +3,50 @@
 With no experiment names, runs every registered experiment and prints
 the summary followed by each rendered section.  ``--list`` prints the
 registered experiment names (one per line) and exits; ``--export DIR``
-also writes each regenerated table as ``DIR/<experiment>.csv``.  Exit
-status is non-zero if any shape check fails, and 2 for usage errors
-(unknown experiment names are reported together with the registry).
+also writes each regenerated table as ``DIR/<experiment>.csv``.
+
+``--bench`` times each named experiment and prints its wall time plus
+the solver-statistics snapshot (Newton iterations, factorizations, LU
+reuses, assembly-path counters, DC strategies) both human-readably and
+as a machine-scrapable ``BENCH {json}`` line, so perf trajectories can
+be collected from plain CI logs.  ``--workers N`` fans independent work
+(experiments, sweep chains, Monte-Carlo chips) over N processes
+(0 = all cores); results are identical to a serial run.
+
+Exit status is non-zero if any shape check fails, and 2 for usage
+errors (unknown experiment names are reported together with the
+registry).
 """
 
 from __future__ import annotations
 
+import json
 import sys
-from typing import List
+import time
+from typing import List, Optional
 
 from .experiments import EXPERIMENTS, render_result, render_summary, run_experiment
 from .experiments.export import write_csv
+from .spice.stats import STATS
 
 #: Exit status for usage errors (unknown experiment, bad flags).
 USAGE_ERROR = 2
 
 
-def main(argv: List[str] = None) -> int:
+def _pop_value_flag(argv: List[str], flag: str, what: str = "an argument"):
+    """Remove ``flag VALUE`` from argv, returning VALUE (or None/error)."""
+    if flag not in argv:
+        return None, None
+    index = argv.index(flag)
+    try:
+        value = argv[index + 1]
+    except IndexError:
+        return None, f"{flag} requires {what}"
+    del argv[index : index + 2]
+    return value, None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("-h", "--help"):
         print(__doc__)
@@ -30,15 +56,24 @@ def main(argv: List[str] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    export_dir = None
-    if "--export" in argv:
-        index = argv.index("--export")
+    bench = "--bench" in argv
+    if bench:
+        argv.remove("--bench")
+    workers_raw, error = _pop_value_flag(argv, "--workers", "a worker count")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    max_workers = None
+    if workers_raw is not None:
         try:
-            export_dir = argv[index + 1]
-        except IndexError:
-            print("--export requires a directory argument", file=sys.stderr)
+            max_workers = int(workers_raw)
+        except ValueError:
+            print(f"--workers needs an integer, got {workers_raw!r}", file=sys.stderr)
             return USAGE_ERROR
-        del argv[index : index + 2]
+    export_dir, error = _pop_value_flag(argv, "--export", "a directory argument")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
     names = argv or sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
@@ -52,14 +87,58 @@ def main(argv: List[str] = None) -> int:
             print(f"  {name}", file=sys.stderr)
         return USAGE_ERROR
     results = {}
-    for name in names:
-        results[name] = run_experiment(name)
+    bench_rows = []
+    if bench:
+        # Timed one-by-one, fully in-process: worker processes would
+        # increment their own STATS singletons and the parent snapshot
+        # would under-report, so intra-experiment fan-out (REPRO_WORKERS)
+        # is forced off for the duration of the timed runs.
+        import os
+
+        saved_workers = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = "1"
+        try:
+            for name in names:
+                STATS.reset()
+                t0 = time.perf_counter()
+                results[name] = run_experiment(name)
+                wall = time.perf_counter() - t0
+                bench_rows.append(
+                    {"experiment": name, "wall_s": round(wall, 4), **STATS.as_dict()}
+                )
+        finally:
+            if saved_workers is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = saved_workers
+    elif max_workers is not None and max_workers != 1 and len(names) > 1:
+        from .experiments.registry import run_experiments
+
+        results = run_experiments(names, max_workers=max_workers)
+    else:
+        for name in names:
+            results[name] = run_experiment(name)
     for name in names:
         print(render_result(results[name]))
     if export_dir is not None:
         for name in names:
             path = write_csv(results[name], export_dir)
             print(f"exported {name} -> {path}")
+    for row in bench_rows:
+        strategies = ", ".join(
+            f"{key}={value}" for key, value in sorted(row["strategies"].items())
+        )
+        print(
+            f"bench {row['experiment']}: wall={row['wall_s']:.3f} s  "
+            f"iterations={row['iterations']}  "
+            f"factorizations={row['factorizations']}  "
+            f"lu_reuses={row['lu_reuses']}  "
+            f"residual_evals={row['residual_evaluations']}  "
+            f"assemblies={row['compiled_assemblies']}c/"
+            f"{row['reference_assemblies']}r  "
+            f"strategies: {strategies or '-'}"
+        )
+        print("BENCH " + json.dumps(row, sort_keys=True))
     print(render_summary(results))
     return 0 if all(result.passed for result in results.values()) else 1
 

@@ -27,7 +27,7 @@ from ..circuits.reference import BehaviouralBandgap
 from ..constants import thermal_voltage
 from ..extraction.temperature import a_coefficient, current_ratio_x
 from ..measurement.samples import DeviceSample
-from ..spice.analysis import temperature_sweep
+from ..spice.analysis import SweepChain, solve_batch
 from ..units import celsius_to_kelvin
 from .registry import ExperimentResult, register
 
@@ -119,15 +119,29 @@ def run_current_ratio() -> ExperimentResult:
 def run_solver() -> ExperimentResult:
     # DESIGN.md decision 1: two simulation paths for the cell.
     temps_c = (-55.0, -5.0, 45.0, 95.0, 145.0)
-    temps_k = [celsius_to_kelvin(t) for t in temps_c]
-    rows = []
-    worst = 0.0
-    for label, config in (
+    temps_k = tuple(celsius_to_kelvin(t) for t in temps_c)
+    variants = (
         ("ideal", BandgapCellConfig(substrate_unit=None)),
         ("leaky", BandgapCellConfig()),
         ("trimmed", BandgapCellConfig(radja=2.5e3)),
-    ):
-        netlist = temperature_sweep(build_bandgap_cell(config), temps_k)
+    )
+    # Three independent warm-start chains over the same grid: the batch
+    # layer solves them (and fans them across processes under
+    # REPRO_WORKERS) with results identical to sequential sweeps.
+    sweeps = solve_batch(
+        [
+            SweepChain(
+                builder=build_bandgap_cell,
+                args=(config,),
+                temperatures_k=temps_k,
+                label=label,
+            )
+            for label, config in variants
+        ]
+    )
+    rows = []
+    worst = 0.0
+    for (label, config), netlist in zip(variants, sweeps):
         behavioural = BehaviouralBandgap(config)
         for temp_c, point in zip(temps_c, netlist.points):
             difference = behavioural.vref(point.temperature_k) - measure_vref(point)

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
+from ..parallel import parallel_map
 
 #: Registered experiment runners, keyed by experiment id.
 EXPERIMENTS: Dict[str, Callable[[], "ExperimentResult"]] = {}
@@ -60,6 +61,22 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return runner()
 
 
-def run_all() -> Dict[str, ExperimentResult]:
+def run_experiments(
+    names: Sequence[str], max_workers: Optional[int] = None
+) -> Dict[str, ExperimentResult]:
+    """Run the named experiments, optionally fanning out over processes.
+
+    Experiments are independent of each other, so the results are
+    identical regardless of worker count; unknown names raise through
+    :func:`run_experiment` before any work is dispatched.
+    """
+    for name in names:
+        if name not in EXPERIMENTS:
+            run_experiment(name)  # raises with the known-experiment list
+    results = parallel_map(run_experiment, list(names), max_workers=max_workers)
+    return dict(zip(names, results))
+
+
+def run_all(max_workers: Optional[int] = None) -> Dict[str, ExperimentResult]:
     """Run every registered experiment in id order."""
-    return {name: EXPERIMENTS[name]() for name in sorted(EXPERIMENTS)}
+    return run_experiments(sorted(EXPERIMENTS), max_workers=max_workers)

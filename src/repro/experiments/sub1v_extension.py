@@ -20,10 +20,18 @@ from ..circuits.sub1v import Sub1VBandgap, Sub1VConfig
 from ..extraction.pipeline import run_analytical_extraction, run_classical_extraction
 from ..measurement.campaign import MeasurementCampaign
 from ..measurement.samples import paper_lot
+from ..parallel import parallel_map
 from ..units import celsius_to_kelvin
 from .registry import ExperimentResult, register
 
 TEMPS_C = tuple(range(-55, 146, 20))
+
+
+def _variant_curve(task) -> list:
+    """Worker: sweep one model-card variant over the grid (picklable)."""
+    config, temps_k = task
+    model = Sub1VBandgap(config)
+    return [model.vref(temp_k) for temp_k in temps_k]
 
 
 @register("sub1v_extension")
@@ -35,38 +43,34 @@ def run() -> ExperimentResult:
         campaign, correct_offset=True
     ).couple_computed_t.couple
 
-    def build(couple, with_parasitic: bool) -> Sub1VBandgap:
+    def config_for(couple, with_parasitic: bool) -> Sub1VConfig:
         params = replace(sample.bjt_params(), eg=couple[0], xti=couple[1])
-        return Sub1VBandgap(
-            Sub1VConfig(
-                params=params,
-                is_mismatch=sample.is_mismatch,
-                substrate_unit=sample.substrate_unit() if with_parasitic else None,
-            )
+        return Sub1VConfig(
+            params=params,
+            is_mismatch=sample.is_mismatch,
+            substrate_unit=sample.substrate_unit() if with_parasitic else None,
         )
 
     true_couple = (sample.bjt_params().eg, sample.bjt_params().xti)
-    fabricated = build(true_couple, with_parasitic=True)
-    predicted_std = build(standard, with_parasitic=False)
-    predicted_insitu = build(extracted, with_parasitic=True)
-
     temps_k = [celsius_to_kelvin(t) for t in TEMPS_C]
-    rows = []
-    fab, std, insitu = [], [], []
-    for temp_c, temp_k in zip(TEMPS_C, temps_k):
-        f = fabricated.vref(temp_k)
-        s = predicted_std.vref(temp_k)
-        i = predicted_insitu.vref(temp_k)
-        fab.append(f)
-        std.append(s)
-        insitu.append(i)
-        rows.append((temp_c, round(f, 5), round(s, 5), round(i, 5)))
-    fab = np.asarray(fab)
-    std = np.asarray(std)
-    insitu = np.asarray(insitu)
+    # Three independent model-card variants over the same grid: a batch
+    # (serial by default, REPRO_WORKERS fans it out).
+    variants = [
+        config_for(true_couple, with_parasitic=True),
+        config_for(standard, with_parasitic=False),
+        config_for(extracted, with_parasitic=True),
+    ]
+    curves = parallel_map(
+        _variant_curve, [(config, temps_k) for config in variants]
+    )
+    fab, std, insitu = (np.asarray(curve) for curve in curves)
+    rows = [
+        (temp_c, round(f, 5), round(s, 5), round(i, 5))
+        for temp_c, f, s, i in zip(TEMPS_C, fab, std, insitu)
+    ]
 
     # Scalability: the same design retargeted to 600 mV.
-    at_600 = fabricated.scaled_to(0.600)
+    at_600 = Sub1VBandgap(variants[0]).scaled_to(0.600)
     v600 = at_600.vref(celsius_to_kelvin(25.0))
 
     checks = {

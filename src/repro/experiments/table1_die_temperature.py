@@ -18,6 +18,7 @@ import numpy as np
 from ..extraction.pipeline import run_analytical_extraction
 from ..measurement.campaign import MeasurementCampaign
 from ..measurement.samples import paper_lot
+from ..parallel import parallel_map
 from ..units import kelvin_to_celsius
 from .registry import ExperimentResult, register
 
@@ -31,20 +32,28 @@ PAPER_TABLE1 = {
 }
 
 
+def _sample_deltas(task):
+    """Worker: one chip's extraction + temperature deltas (picklable)."""
+    index, sample = task
+    sweep = sorted(set(TABLE1_TEMPS_C) | {-50.0, 50.0, 100.0})
+    campaign = MeasurementCampaign(sample, include_noise=True, seed=10 + index)
+    extraction = run_analytical_extraction(
+        campaign, temps_c=sweep, point_temps_c=TABLE1_TEMPS_C
+    )
+    return sample.name, extraction.temperature_deltas_k
+
+
 @register("table1")
 def run() -> ExperimentResult:
-    sweep = sorted(set(TABLE1_TEMPS_C) | {-50.0, 50.0, 100.0})
+    # Five independent chips: a batch — serial by default, REPRO_WORKERS
+    # fans the lot out (each chip's seed is fixed, so results match).
+    per_sample = parallel_map(_sample_deltas, list(enumerate(paper_lot())))
     rows = []
     deltas_t1, deltas_t3 = [], []
-    for index, sample in enumerate(paper_lot()):
-        campaign = MeasurementCampaign(sample, include_noise=True, seed=10 + index)
-        extraction = run_analytical_extraction(
-            campaign, temps_c=sweep, point_temps_c=TABLE1_TEMPS_C
-        )
-        d1, d2, d3 = extraction.temperature_deltas_k
+    for name, (d1, d2, d3) in per_sample:
         deltas_t1.append(d1)
         deltas_t3.append(d3)
-        rows.append((sample.name, round(d1, 2), round(d2, 2), round(d3, 2)))
+        rows.append((name, round(d1, 2), round(d2, 2), round(d3, 2)))
 
     deltas_t1 = np.asarray(deltas_t1)
     deltas_t3 = np.asarray(deltas_t3)

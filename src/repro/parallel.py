@@ -1,0 +1,74 @@
+"""Process fan-out helper for independent work items.
+
+Every sweep/Monte-Carlo layer in the repo funnels its independent work
+through :func:`parallel_map`, which fans items out over a
+``concurrent.futures`` process pool and degrades gracefully (serial
+execution) when that cannot work: one worker requested, a single item,
+un-picklable payloads, or an environment where spawning processes
+fails.  Work functions must be pure (no side effects) — the fallback
+re-runs them serially from scratch.
+
+Worker-count resolution: an explicit ``max_workers`` wins; otherwise the
+``REPRO_WORKERS`` environment variable; otherwise serial.  ``0`` (or any
+non-positive count) means "all cores".  Serial-by-default keeps test
+runs and single-core CI deterministic-by-construction and free of pool
+startup cost; batch jobs opt in with ``REPRO_WORKERS=0`` (or a count).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument, else REPRO_WORKERS, else 1."""
+    if max_workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            max_workers = int(raw)
+        except ValueError:
+            return 1
+    if max_workers <= 0:
+        return os.cpu_count() or 1
+    return max_workers
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``func`` over ``items``, fanning out across processes.
+
+    Results come back in item order, exactly as ``[func(i) for i in
+    items]`` would produce them — parallelism never changes the answer,
+    only the wall clock.  Falls back to the serial map whenever the
+    pool cannot be used.
+    """
+    work: Sequence[T] = list(items)
+    workers = min(resolve_workers(max_workers), len(work))
+    if workers <= 1 or len(work) <= 1:
+        return [func(item) for item in work]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(func, work))
+    except (pickle.PicklingError, AttributeError, TypeError,
+            BrokenProcessPool, OSError, ImportError):
+        # Pool-infrastructure failures only: un-picklable payloads
+        # (PicklingError / "Can't pickle local object" AttributeError /
+        # TypeError), a broken or unspawnable pool, or a sandbox that
+        # forbids forking.  The work itself is pure, so rerunning it
+        # serially is a correct (if slower) answer.  A genuine error
+        # *raised by func* inside a worker re-raises unchanged instead
+        # of silently doubling the work on the failure path.
+        return [func(item) for item in work]

@@ -3,16 +3,23 @@
 Temperature sweeps warm-start each point from the previous solution —
 both a large speed win and a robustness win for the bandgap cell, whose
 op-amp loop has a far smaller basin of attraction from a cold start.
+
+:func:`solve_batch` is the batch layer on top: it takes a set of
+*chains* — each a picklable circuit recipe plus a condition grid, solved
+with warm-start chaining — and fans independent chains out across
+processes (:mod:`repro.parallel`).  Sweep-style experiments (fig8's
+configuration family, Monte-Carlo lots) are exactly such batches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import NetlistError
+from ..parallel import parallel_map
 from .mna import MNASystem
 from .netlist import Circuit
 from .solver import RawSolution, SolverOptions, solve_dc
@@ -133,3 +140,83 @@ def temperature_sweep(
         values=np.asarray(temperatures_k, float),
         points=points,
     )
+
+
+@dataclass(frozen=True)
+class SweepChain:
+    """One warm-start chain of DC solves, as a picklable recipe.
+
+    ``builder(*args, **kwargs)`` must return the :class:`Circuit` to
+    solve — a *recipe* rather than a circuit instance, because circuits
+    routinely hold closures (temperature-law sources, trim offset laws)
+    that cannot cross a process boundary, while a module-level builder
+    plus plain-data arguments can.  The chain is solved in temperature
+    order with warm-start chaining, exactly like
+    :func:`temperature_sweep`.
+    """
+
+    builder: Callable[..., Circuit]
+    temperatures_k: Tuple[float, ...]
+    args: Tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+    label: str = "temperature"
+    options: Optional[SolverOptions] = None
+
+    def build(self) -> Circuit:
+        return self.builder(*self.args, **dict(self.kwargs))
+
+
+def _solve_chain(chain: SweepChain) -> dict:
+    """Worker: run one chain, return plain arrays (picklable payload).
+
+    The solved circuit object never crosses back to the parent — only
+    the unknown vectors and per-point diagnostics do, so chains whose
+    circuits hold closures still fan out fine.
+    """
+    circuit = chain.build()
+    sweep = temperature_sweep(circuit, chain.temperatures_k, options=chain.options)
+    return {
+        "x": np.stack([point.x for point in sweep.points]),
+        "iterations": [point.iterations for point in sweep.points],
+        "residuals": [point.residual for point in sweep.points],
+        "strategies": [point.strategy for point in sweep.points],
+    }
+
+
+def solve_batch(
+    chains: Sequence[SweepChain],
+    max_workers: Optional[int] = None,
+) -> List[SweepResult]:
+    """Solve many warm-start chains, fanning out across processes.
+
+    Within a chain, points are solved sequentially (each warm-starts
+    the next — that ordering is load-bearing for convergence); across
+    chains everything is independent, which is where the
+    ``concurrent.futures`` fan-out buys wall-clock time on multi-core
+    hosts.  Results are identical to running every chain serially.
+    """
+    payloads = parallel_map(_solve_chain, list(chains), max_workers=max_workers)
+    results: List[SweepResult] = []
+    for chain, payload in zip(chains, payloads):
+        # Rehydrate against a parent-side circuit instance so the
+        # name-based accessors of SweepResult/OperatingPoint work.
+        circuit = chain.build()
+        points = [
+            OperatingPoint(
+                circuit=circuit,
+                temperature_k=float(temperature),
+                x=payload["x"][index],
+                iterations=payload["iterations"][index],
+                residual=payload["residuals"][index],
+                strategy=payload["strategies"][index],
+            )
+            for index, temperature in enumerate(chain.temperatures_k)
+        ]
+        results.append(
+            SweepResult(
+                parameter=chain.label,
+                values=np.asarray(chain.temperatures_k, float),
+                points=points,
+            )
+        )
+    return results

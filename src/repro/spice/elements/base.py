@@ -16,8 +16,9 @@ bound to their global indices once, at system build time, via
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,9 +74,18 @@ class TransientContext:
     the transient engine owns the dict and advances it only when a step
     is accepted, so stamping is free of side effects and Newton may
     re-evaluate at will.
+
+    ``serial`` is a process-unique id of this context instance.  The
+    compiled assembler keys its cached linear residual on it: a new
+    context means a new timestep (possibly with advanced integrator
+    state), while re-stamps under the *same* context — Newton iterations
+    and line-search probes of one step — may reuse the cache.  Object
+    identity (``id``) cannot serve here because ids are recycled.
     """
 
-    __slots__ = ("dt", "method", "alpha", "beta", "states")
+    __slots__ = ("dt", "method", "alpha", "beta", "states", "serial")
+
+    _serials = itertools.count(1)
 
     def __init__(self, dt: float, method: str, states: dict):
         if dt <= 0.0:
@@ -91,6 +101,7 @@ class TransientContext:
         self.dt = dt
         self.method = method
         self.states = states
+        self.serial = next(TransientContext._serials)
 
     def discretised_current(self, element: "Element", charge: float) -> float:
         """Companion-model branch current for the iterate's charge."""
@@ -126,13 +137,13 @@ class Stamp:
     def __init__(
         self,
         x: np.ndarray,
-        jacobian: np.ndarray,
+        jacobian: Optional[np.ndarray],
         residual: np.ndarray,
         temperature_k: float,
         gmin: float,
         source_scale: float,
-        time: float = None,
-        transient: "TransientContext" = None,
+        time: Optional[float] = None,
+        transient: Optional["TransientContext"] = None,
     ):
         self.x = x
         self.jacobian = jacobian
@@ -197,11 +208,20 @@ class Element:
     #: True for charge-storage elements that participate in transient
     #: integration (they must implement :meth:`charge_at`).
     is_dynamic: bool = False
+    #: Contract for the compiled assembler: a linear element's stamp is
+    #: *affine in the unknown vector* for fixed ambient conditions
+    #: (temperature, gmin, source_scale, time, integration context) — its
+    #: Jacobian contribution is constant and its residual is
+    #: ``J_el @ x + F_el(0)``.  The compiled path pre-stamps such
+    #: elements once per configuration instead of once per Newton
+    #: iteration.  The default is ``False`` (always correct, never
+    #: cached); element classes opt in explicitly.
+    is_linear: bool = False
 
     def __init__(self, name: str, nodes: Sequence[str]):
         self.name = name
         self.nodes = tuple(nodes)
-        self.temperature_override: float = None
+        self.temperature_override: Optional[float] = None
         self._node_idx: Tuple[int, ...] = ()
         self._branch_offset: int = -1
 
@@ -222,6 +242,18 @@ class Element:
         if self.temperature_override is not None:
             return self.temperature_override
         return stamp.temperature_k
+
+    def jacobian_slots(self) -> int:
+        """Upper bound on Jacobian entries one :meth:`stamp` call emits.
+
+        The compiled assembler reserves this many COO slots per
+        nonlinear element up front so the per-iteration scatter never
+        reallocates.  The default bound — every unknown the element can
+        touch (terminals, branch rows, plus one gmin-style helper)
+        squared — is safe for any stamp built from the element's own
+        indices; classes with exactly known footprints override it.
+        """
+        return (len(self.nodes) + self.branch_count + 1) ** 2
 
     # -- behaviour -----------------------------------------------------
     def stamp(self, stamp: Stamp) -> None:

@@ -36,6 +36,10 @@ class SpiceBJT(Element):
 
     is_nonlinear = True
 
+    def jacobian_slots(self) -> int:
+        # The 3x3 terminal block (gmin junction terms folded in).
+        return 9
+
     def __init__(self, name: str, collector: str, base: str, emitter: str,
                  params: BJTParameters):
         super().__init__(name, (collector, base, emitter))
@@ -44,6 +48,17 @@ class SpiceBJT(Element):
         self.substrate: Optional[SubstratePNP] = None
         self.substrate_node: str = "0"
         self.substrate_drive: Optional[float] = None
+        #: Memo of the temperature-law evaluations (IS, ISE, BF, n*VT
+        #: products) at the last requested temperature.  The stamp is
+        #: re-evaluated hundreds of times per solve at a single device
+        #: temperature, and each law costs a pow+exp.
+        self._tcache: Optional[tuple] = None
+        #: Memo of the last (vbe, vbc, t) junction evaluation.  The
+        #: solver evaluates the residual at an accepted candidate and
+        #: then assembles the Jacobian at that same iterate — back to
+        #: back — so one-deep memoisation halves the junction math on
+        #: every fresh Newton iteration.
+        self._op_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def attach_substrate(
@@ -86,6 +101,25 @@ class SpiceBJT(Element):
         p = self.params
         return p.bf * (t / p.tnom) ** p.xtb
 
+    def _laws_at(self, t: float) -> tuple:
+        """Memoised temperature laws ``(is, ise, bf, nf*vt, nr*vt, ne*vt)``."""
+        cache = self._tcache
+        if cache is not None and cache[0] == t:
+            return cache
+        p = self.params
+        vt = thermal_voltage(t)
+        cache = (
+            t,
+            self._is_at(t),
+            self._ise_at(t),
+            self._bf_at(t),
+            p.nf * vt,
+            p.nr * vt,
+            p.ne * vt,
+        )
+        self._tcache = cache
+        return cache
+
     def currents_and_derivatives(self, vbe: float, vbc: float, t: float):
         """Junction-convention ``(ic, ib, dic_dvbe, dic_dvbc, dib_dvbe,
         dib_dvbc)`` at temperature ``t``.
@@ -94,12 +128,11 @@ class SpiceBJT(Element):
         at 0.05 to keep intermediate Newton iterates finite; converged
         operating points sit far from the clamp.
         """
+        cached = self._op_cache
+        if cached is not None and cached[0] == (vbe, vbc, t):
+            return cached[1]
         p = self.params
-        vt = thermal_voltage(t)
-        is_t = self._is_at(t)
-        nf_vt = p.nf * vt
-        nr_vt = p.nr * vt
-        ne_vt = p.ne * vt
+        _, is_t, ise_t, bf_t, nf_vt, nr_vt, ne_vt = self._laws_at(t)
 
         ef, def_ = limited_exp(vbe / nf_vt)
         er, der = limited_exp(vbc / nr_vt)
@@ -134,8 +167,6 @@ class SpiceBJT(Element):
         dicc_dvbe = gif / qb - icc * dqb_dvbe / qb
         dicc_dvbc = -gir / qb - icc * dqb_dvbc / qb
 
-        bf_t = self._bf_at(t)
-        ise_t = self._ise_at(t)
         ele, dele = limited_exp(vbe / ne_vt)
 
         ic = icc - i_r / p.br
@@ -144,7 +175,9 @@ class SpiceBJT(Element):
         ib = i_f / bf_t + ise_t * (ele - 1.0) + i_r / p.br
         dib_dvbe = gif / bf_t + ise_t * dele / ne_vt
         dib_dvbc = gir / p.br
-        return ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc
+        result = (ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc)
+        self._op_cache = ((vbe, vbc, t), result)
+        return result
 
     # ------------------------------------------------------------------
     def stamp(self, stamp: Stamp) -> None:
@@ -156,34 +189,38 @@ class SpiceBJT(Element):
             sub = -1
         s = self.sign
         t = self.device_temperature(stamp)
-        vc, vb, ve = stamp.v(c), stamp.v(b), stamp.v(e)
+        x = stamp.x
+        vc = float(x[c]) if c >= 0 else 0.0
+        vb = float(x[b]) if b >= 0 else 0.0
+        ve = float(x[e]) if e >= 0 else 0.0
         vbe = s * (vb - ve)
         vbc = s * (vb - vc)
         ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc = (
             self.currents_and_derivatives(vbe, vbc, t)
         )
 
-        # Terminal currents leaving each node into the device.
+        # Terminal currents leaving each node into the device, with the
+        # gmin junction conductances (B-E and B-C, for Jacobian
+        # regularity at zero/reverse bias) folded into the same adds.
+        gmin = stamp.gmin
+        i_be = gmin * (vb - ve)
+        i_bc = gmin * (vb - vc)
         i_c = s * ic
         i_b = s * ib
-        stamp.add_residual(c, i_c)
-        stamp.add_residual(b, i_b)
-        stamp.add_residual(e, -(i_c + i_b))
+        stamp.add_residual(c, i_c - i_bc)
+        stamp.add_residual(b, i_b + i_be + i_bc)
+        stamp.add_residual(e, -(i_c + i_b) - i_be)
 
         # Chain rule: d vbe/dVb = s etc.; the s*s products cancel.
-        stamp.add_jacobian(c, b, dic_dvbe + dic_dvbc)
+        stamp.add_jacobian(c, b, dic_dvbe + dic_dvbc - gmin)
         stamp.add_jacobian(c, e, -dic_dvbe)
-        stamp.add_jacobian(c, c, -dic_dvbc)
-        stamp.add_jacobian(b, b, dib_dvbe + dib_dvbc)
-        stamp.add_jacobian(b, e, -dib_dvbe)
-        stamp.add_jacobian(b, c, -dib_dvbc)
-        stamp.add_jacobian(e, b, -(dic_dvbe + dic_dvbc) - (dib_dvbe + dib_dvbc))
-        stamp.add_jacobian(e, e, dic_dvbe + dib_dvbe)
+        stamp.add_jacobian(c, c, -dic_dvbc + gmin)
+        stamp.add_jacobian(b, b, dib_dvbe + dib_dvbc + gmin + gmin)
+        stamp.add_jacobian(b, e, -dib_dvbe - gmin)
+        stamp.add_jacobian(b, c, -dib_dvbc - gmin)
+        stamp.add_jacobian(e, b, -(dic_dvbe + dic_dvbc) - (dib_dvbe + dib_dvbc) - gmin)
+        stamp.add_jacobian(e, e, dic_dvbe + dib_dvbe + gmin)
         stamp.add_jacobian(e, c, dic_dvbc + dib_dvbc)
-
-        # gmin across both junctions for Jacobian regularity.
-        stamp.stamp_conductance(b, e, stamp.gmin)
-        stamp.stamp_conductance(b, c, stamp.gmin)
 
         if has_substrate:
             if self.substrate_drive is not None:

@@ -21,6 +21,7 @@ class VCVS(Element):
     """
 
     branch_count = 1
+    is_linear = True
 
     def __init__(self, name: str, outp: str, outn: str, cp: str, cn: str, gain: float):
         super().__init__(name, (outp, outn, cp, cn))
@@ -51,6 +52,8 @@ class VCCS(Element):
     ``outn`` (SPICE ``G`` element).
     """
 
+    is_linear = True
+
     def __init__(self, name: str, outp: str, outn: str, cp: str, cn: str, gm: float):
         super().__init__(name, (outp, outn, cp, cn))
         self.gm = float(gm)
@@ -69,6 +72,8 @@ class VCCS(Element):
 
 class _CurrentControlled(Element):
     """Shared plumbing: resolve the sensed element's branch index."""
+
+    is_linear = True
 
     def __init__(self, name: str, outp: str, outn: str, sensed):
         super().__init__(name, (outp, outn))

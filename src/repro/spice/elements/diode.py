@@ -25,6 +25,10 @@ class Diode(Element):
 
     is_nonlinear = True
 
+    def jacobian_slots(self) -> int:
+        # The 2x2 conductance block (gmin folded into g).
+        return 4
+
     def __init__(
         self,
         name: str,

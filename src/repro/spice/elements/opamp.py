@@ -52,6 +52,10 @@ class OpAmp(Element):
     branch_count = 1
     is_nonlinear = True
 
+    def jacobian_slots(self) -> int:
+        # Output KCL pair, branch row vs out/inp/inn, optional rail term.
+        return 6
+
     def __init__(
         self,
         name: str,
@@ -75,12 +79,26 @@ class OpAmp(Element):
         self.rail_low = rail_low
         self.rail_high = rail_high
         self.supply = supply
+        #: Memo of a callable offset law at the last temperature — the
+        #: law is re-evaluated every stamp but only depends on T.
+        self._vos_cache = None
+        #: One-deep memo of the last output/slope evaluation (the solver
+        #: stamps the same iterate twice back to back: residual probe,
+        #: then Jacobian assembly).  Keyed on every input including the
+        #: gain, which gain stepping mutates between stages.
+        self._op_cache = None
 
     def offset_at(self, temperature_k: float) -> float:
         """Input offset voltage at temperature [V]."""
-        if callable(self.vos):
-            return float(self.vos(temperature_k))
-        return float(self.vos)
+        vos = self.vos
+        if callable(vos):
+            cache = self._vos_cache
+            if cache is not None and cache[0] is vos and cache[1] == temperature_k:
+                return cache[2]
+            value = float(vos(temperature_k))
+            self._vos_cache = (vos, temperature_k, value)
+            return value
+        return float(vos)
 
     def output_value(
         self,
@@ -107,6 +125,10 @@ class OpAmp(Element):
         temperature_k: float,
         supply_v: Optional[float] = None,
     ):
+        key = (vdiff, temperature_k, supply_v, self.gain, self.vos)
+        cached = self._op_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         rail_high, drail = self._effective_rail_high(supply_v)
         center = 0.5 * (rail_high + self.rail_low)
         swing = 0.5 * (rail_high - self.rail_low)
@@ -118,7 +140,9 @@ class OpAmp(Element):
         # rail, and the tanh argument shrinks as the window widens:
         #   value = c + s*th,  dc/dr = ds/dr = 1/2,  darg/dr = -arg/(2s)
         slope_rail = drail * 0.5 * (1.0 + th - arg * (1.0 - th * th))
-        return value, (slope, slope_rail)
+        result = (value, (slope, slope_rail))
+        self._op_cache = (key, result)
+        return result
 
     def stamp(self, stamp: Stamp) -> None:
         if self.supply is None:

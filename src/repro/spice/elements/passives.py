@@ -23,6 +23,8 @@ class Resistor(Element):
     the test cell is set by exactly such resistors.
     """
 
+    is_linear = True
+
     def __init__(
         self,
         name: str,
@@ -80,6 +82,9 @@ class Capacitor(Element):
     """
 
     is_dynamic = True
+    #: The companion model is affine in x: conductance alpha*C plus a
+    #: residual offset from the (frozen-per-step) integrator state.
+    is_linear = True
 
     def __init__(self, name: str, a: str, b: str, capacitance: float):
         super().__init__(name, (a, b))

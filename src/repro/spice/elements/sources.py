@@ -205,7 +205,9 @@ class Sin(Waveform):
 SourceValue = Union[float, Callable[[float], float], Waveform]
 
 
-def _evaluate(value: SourceValue, temperature_k: float, time: float = None) -> float:
+def _evaluate(
+    value: SourceValue, temperature_k: float, time: Optional[float] = None
+) -> float:
     if isinstance(value, Waveform):
         return float(value.value(0.0 if time is None else time))
     if callable(value):
@@ -217,12 +219,14 @@ class VoltageSource(Element):
     """Independent voltage source with one branch-current unknown."""
 
     branch_count = 1
+    #: The source value varies with time/temperature but never with x.
+    is_linear = True
 
     def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
         super().__init__(name, (npos, nneg))
         self.dc = dc
 
-    def value_at(self, temperature_k: float, time: float = None) -> float:
+    def value_at(self, temperature_k: float, time: Optional[float] = None) -> float:
         return _evaluate(self.dc, temperature_k, time)
 
     def stamp(self, stamp: Stamp) -> None:
@@ -253,11 +257,14 @@ class VoltageSource(Element):
 class CurrentSource(Element):
     """Independent current source (no extra unknowns)."""
 
+    #: The source value varies with time/temperature but never with x.
+    is_linear = True
+
     def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
         super().__init__(name, (npos, nneg))
         self.dc = dc
 
-    def value_at(self, temperature_k: float, time: float = None) -> float:
+    def value_at(self, temperature_k: float, time: Optional[float] = None) -> float:
         return _evaluate(self.dc, temperature_k, time)
 
     def stamp(self, stamp: Stamp) -> None:

@@ -1,10 +1,33 @@
 """Modified nodal analysis: residual/Jacobian assembly.
 
 The system solves ``F(x) = 0`` with unknowns ``x = [node voltages,
-branch currents]``.  Rather than the classical linear-companion stamping,
-every element contributes directly to the residual and Jacobian at the
-current iterate — identical maths, but one uniform code path for linear
-and nonlinear elements.
+branch currents]``.  Every element contributes directly to the residual
+and Jacobian at the current iterate — identical maths for linear and
+nonlinear elements.
+
+Two assembly paths produce bit-compatible ``(J, F)``:
+
+* the **reference path** (:meth:`MNASystem.assemble_reference`) walks
+  every element and stamps one float at a time — simple, obviously
+  correct, and the yardstick the equivalence tests measure against;
+* the **compiled path** (the default) partitions the elements once at
+  build time.  Elements whose stamp is affine in ``x``
+  (``Element.is_linear``) are pre-stamped *once per configuration* into
+  a cached constant matrix ``G_lin`` and offset ``b_lin``; a Newton
+  iteration then assembles ``F = G_lin @ x + b_lin + F_nl(x)`` with a
+  vectorized COO scatter (``np.add.at`` over preallocated slot arrays)
+  for only the nonlinear group.  This removes the per-float Python
+  dispatch of the linear elements — resistors, sources, controlled
+  sources, capacitor companions — from the hot loop, which profiles
+  show dominates every sweep and transient in the repo.
+
+Cache correctness: the linear part depends only on (temperature — fixed
+per system, ``gmin``, ``source_scale``, ``time``, and the integration
+context's alpha/state), all of which key the cache.  Mutating element
+*values* (resistance, source dc, gains of linear controlled sources) on
+a live system is not tracked — call :meth:`MNASystem.invalidate` after
+doing so, or build a fresh system (``solve_dc`` already builds one per
+call, which is why ``dc_sweep``-style value mutation is safe).
 
 A ``gmin`` conductance from every node to ground is always present (it
 bounds the matrix condition number and is the knob the solver's gmin
@@ -14,13 +37,21 @@ sources for source stepping.
 
 from __future__ import annotations
 
-from typing import Tuple
+import os
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import NetlistError
-from .elements.base import Stamp
+from .elements.base import DynamicState, Stamp, TransientContext
 from .netlist import Circuit
+from .stats import STATS
+
+
+def _compiled_default() -> bool:
+    """Compiled assembly is the default; REPRO_COMPILED=0 disables it
+    process-wide (the A/B knob the benchmarks use)."""
+    return os.environ.get("REPRO_COMPILED", "1") not in ("0", "false", "no")
 
 
 class _ResidualOnlyStamp(Stamp):
@@ -36,10 +67,231 @@ class _ResidualOnlyStamp(Stamp):
         return None
 
 
+class _COOStamp(Stamp):
+    """Stamp collecting Jacobian entries as COO triplets.
+
+    The compiled path hands this to the nonlinear elements only; the
+    collected ``(row, col, value)`` triplets are scattered into the
+    dense Jacobian in one vectorized ``np.add.at`` call.  Slot arrays
+    are preallocated from the elements' ``jacobian_slots`` reservations
+    and grown (rarely) if an element under-declared.
+    """
+
+    __slots__ = ("rows", "cols", "vals", "n_entries")
+
+    def add_jacobian(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            n = self.n_entries
+            if n == len(self.rows):
+                self.rows = np.concatenate([self.rows, np.zeros_like(self.rows)])
+                self.cols = np.concatenate([self.cols, np.zeros_like(self.cols)])
+                self.vals = np.concatenate([self.vals, np.zeros_like(self.vals)])
+            self.rows[n] = row
+            self.cols[n] = col
+            self.vals[n] = value
+            self.n_entries = n + 1
+
+
+class CompiledAssembler:
+    """Partitioned fast assembly for one :class:`MNASystem`.
+
+    Cached pieces (all per-system, so per-temperature):
+
+    ``G_static``
+        Jacobian of the non-dynamic linear elements plus the gmin
+        diagonal; keyed by ``gmin``.
+    ``b_static``
+        Residual of the same group at ``x = 0`` (source injections,
+        branch-equation targets); keyed by ``(source_scale, time)``.
+    ``C_pattern``
+        Jacobian of the dynamic linear elements at unit alpha — a
+        capacitance pattern; computed once, scaled by the step's alpha.
+    ``b_dynamic``
+        Companion-model residual offsets (``-alpha*q_prev - beta*i_prev``
+        terms); keyed by the integration context's ``serial``.
+    """
+
+    def __init__(self, system: "MNASystem"):
+        self.system = system
+        elements = system.circuit.elements
+        self.linear_static = [
+            el for el in elements if el.is_linear and not el.is_dynamic
+        ]
+        self.linear_dynamic = [el for el in elements if el.is_linear and el.is_dynamic]
+        self.nonlinear = [el for el in elements if not el.is_linear]
+        capacity = max(sum(el.jacobian_slots() for el in self.nonlinear), 1)
+        self._rows = np.zeros(capacity, dtype=np.intp)
+        self._cols = np.zeros(capacity, dtype=np.intp)
+        self._vals = np.zeros(capacity, dtype=float)
+        self._g_static: Optional[np.ndarray] = None
+        self._g_static_key: Optional[float] = None
+        self._b_static: Optional[np.ndarray] = None
+        self._b_static_key: Optional[Tuple[float, Optional[float]]] = None
+        self._c_pattern: Optional[np.ndarray] = None
+        self._g_lin: Optional[np.ndarray] = None
+        self._g_lin_key: Optional[Tuple[float, float]] = None
+        self._b_dyn: Optional[np.ndarray] = None
+        self._b_dyn_key: Optional[int] = None
+        self._b_comb: Optional[np.ndarray] = None
+        self._b_comb_key: Optional[Tuple] = None
+
+    # -- linear-group passes -------------------------------------------
+    def _base_stamp(self, cls, x, jacobian, residual, gmin, source_scale,
+                    time, transient):
+        return cls(
+            x=x,
+            jacobian=jacobian,
+            residual=residual,
+            temperature_k=self.system.temperature_k,
+            gmin=gmin,
+            source_scale=source_scale,
+            time=time,
+            transient=transient,
+        )
+
+    def _static_pass(self, gmin: float, source_scale: float,
+                     time: Optional[float]) -> None:
+        """Full (J, F) stamp of the static linear group at ``x = 0``."""
+        size = self.system.size
+        jacobian = np.zeros((size, size))
+        residual = np.zeros(size)
+        stamp = self._base_stamp(
+            Stamp, np.zeros(size), jacobian, residual, gmin, source_scale,
+            time, None,
+        )
+        for node in range(self.system.n_nodes):
+            jacobian[node, node] += gmin
+        for el in self.linear_static:
+            el.stamp(stamp)
+        self._g_static = jacobian
+        self._g_static_key = gmin
+        self._b_static = residual
+        self._b_static_key = (source_scale, time)
+        # Derived caches are built from G_static: drop them.
+        self._g_lin_key = None
+        self._b_comb_key = None
+
+    def _static_residual_pass(self, gmin: float, source_scale: float,
+                              time: Optional[float]) -> None:
+        """Refresh only ``b_static`` (source values moved, J unchanged)."""
+        size = self.system.size
+        residual = np.zeros(size)
+        stamp = self._base_stamp(
+            _ResidualOnlyStamp, np.zeros(size), None, residual, gmin,
+            source_scale, time, None,
+        )
+        for el in self.linear_static:
+            el.stamp(stamp)
+        self._b_static = residual
+        self._b_static_key = (source_scale, time)
+        self._b_comb_key = None
+
+    def _capacitance_pattern(self) -> np.ndarray:
+        """Jacobian of the dynamic linear group at alpha=1 (computed once)."""
+        if self._c_pattern is None:
+            size = self.system.size
+            jacobian = np.zeros((size, size))
+            states = {el.name: DynamicState() for el in self.linear_dynamic}
+            unit_ctx = TransientContext(dt=1.0, method="be", states=states)
+            stamp = self._base_stamp(
+                Stamp, np.zeros(size), jacobian, np.zeros(size), 0.0, 1.0,
+                None, unit_ctx,
+            )
+            for el in self.linear_dynamic:
+                el.stamp(stamp)
+            self._c_pattern = jacobian
+        return self._c_pattern
+
+    def _dynamic_residual(self, gmin: float, source_scale: float,
+                          time: Optional[float],
+                          transient: TransientContext) -> np.ndarray:
+        """Companion residual of the dynamic group at ``x = 0``."""
+        residual = np.zeros(self.system.size)
+        stamp = self._base_stamp(
+            _ResidualOnlyStamp, np.zeros(self.system.size), None, residual,
+            gmin, source_scale, time, transient,
+        )
+        for el in self.linear_dynamic:
+            el.stamp(stamp)
+        return residual
+
+    def _linear_parts(
+        self,
+        gmin: float,
+        source_scale: float,
+        time: Optional[float],
+        transient: Optional[TransientContext],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the cached ``(G_lin, b_lin)`` for this configuration."""
+        if self._g_static_key != gmin:
+            self._static_pass(gmin, source_scale, time)
+        elif self._b_static_key != (source_scale, time):
+            self._static_residual_pass(gmin, source_scale, time)
+        if transient is None:
+            return self._g_static, self._b_static
+        g_key = (gmin, transient.alpha)
+        if self._g_lin_key != g_key:
+            self._g_lin = self._g_static + transient.alpha * self._capacitance_pattern()
+            self._g_lin_key = g_key
+        if self._b_dyn_key != transient.serial:
+            self._b_dyn = self._dynamic_residual(gmin, source_scale, time, transient)
+            self._b_dyn_key = transient.serial
+            self._b_comb_key = None
+        b_key = (self._b_static_key, transient.serial)
+        if self._b_comb_key != b_key:
+            self._b_comb = self._b_static + self._b_dyn
+            self._b_comb_key = b_key
+        return self._g_lin, self._b_comb
+
+    # -- public assembly -----------------------------------------------
+    def assemble(self, x, gmin, source_scale, time, transient):
+        g_lin, b_lin = self._linear_parts(gmin, source_scale, time, transient)
+        residual = g_lin @ x + b_lin
+        jacobian = g_lin.copy()
+        stamp = self._base_stamp(
+            _COOStamp, x, None, residual, gmin, source_scale, time, transient
+        )
+        stamp.rows, stamp.cols, stamp.vals = self._rows, self._cols, self._vals
+        stamp.n_entries = 0
+        for el in self.nonlinear:
+            el.stamp(stamp)
+        n = stamp.n_entries
+        # Keep (possibly grown) slot arrays for the next iteration.
+        self._rows, self._cols, self._vals = stamp.rows, stamp.cols, stamp.vals
+        if n:
+            np.add.at(jacobian, (stamp.rows[:n], stamp.cols[:n]), stamp.vals[:n])
+        return jacobian, residual
+
+    def assemble_residual(self, x, gmin, source_scale, time, transient):
+        g_lin, b_lin = self._linear_parts(gmin, source_scale, time, transient)
+        residual = g_lin @ x + b_lin
+        stamp = self._base_stamp(
+            _ResidualOnlyStamp, x, None, residual, gmin, source_scale, time,
+            transient,
+        )
+        for el in self.nonlinear:
+            el.stamp(stamp)
+        return residual
+
+    def invalidate(self) -> None:
+        """Drop every cached linear part (element values were mutated)."""
+        self._g_static_key = None
+        self._b_static_key = None
+        self._c_pattern = None
+        self._g_lin_key = None
+        self._b_dyn_key = None
+        self._b_comb_key = None
+
+
 class MNASystem:
     """Assembles F(x) and J(x) for a circuit at given conditions."""
 
-    def __init__(self, circuit: Circuit, temperature_k: float = 300.15):
+    def __init__(
+        self,
+        circuit: Circuit,
+        temperature_k: float = 300.15,
+        compiled: Optional[bool] = None,
+    ):
         circuit.validate()
         self.circuit = circuit
         self.temperature_k = temperature_k
@@ -52,14 +304,32 @@ class MNASystem:
         self.size = offset
         if self.size == 0:
             raise NetlistError("circuit has no unknowns")
+        if compiled is None:
+            compiled = _compiled_default()
+        self._assembler = CompiledAssembler(self) if compiled else None
+
+    @property
+    def compiled(self) -> bool:
+        """True when the compiled fast path is active."""
+        return self._assembler is not None
+
+    def invalidate(self) -> None:
+        """Invalidate cached linear stamps after mutating element values.
+
+        Needed only when a *linear* element's value (resistance, source
+        dc, controlled-source gain) is changed on a live system;
+        nonlinear elements are re-stamped every assembly regardless.
+        """
+        if self._assembler is not None:
+            self._assembler.invalidate()
 
     def assemble(
         self,
         x: np.ndarray,
         gmin: float = 1e-12,
         source_scale: float = 1.0,
-        time: float = None,
-        transient=None,
+        time: Optional[float] = None,
+        transient: Optional[TransientContext] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(J, F)`` at the iterate ``x``.
 
@@ -68,6 +338,23 @@ class MNASystem:
         the integration context of the timestep being solved (``None``
         = DC, i.e. charge-storage elements stamp nothing).
         """
+        if self._assembler is not None:
+            STATS.compiled_assemblies += 1
+            return self._assembler.assemble(x, gmin, source_scale, time, transient)
+        return self.assemble_reference(
+            x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
+        )
+
+    def assemble_reference(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        time: Optional[float] = None,
+        transient: Optional[TransientContext] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Element-by-element ``(J, F)`` — the equivalence yardstick."""
+        STATS.reference_assemblies += 1
         jacobian = np.zeros((self.size, self.size))
         residual = np.zeros(self.size)
         stamp = Stamp(
@@ -84,7 +371,7 @@ class MNASystem:
         return jacobian, residual
 
     def _stamp_all(self, stamp: Stamp) -> None:
-        """The one assembly body: gmin-to-ground plus every element.
+        """The one reference assembly body: gmin-to-ground plus elements.
 
         The gmin conductance from every node to ground keeps nodes with
         only junction connections (or floating capacitor nodes)
@@ -103,16 +390,35 @@ class MNASystem:
         x: np.ndarray,
         gmin: float = 1e-12,
         source_scale: float = 1.0,
-        time: float = None,
-        transient=None,
+        time: Optional[float] = None,
+        transient: Optional[TransientContext] = None,
     ) -> np.ndarray:
         """Return ``F(x)`` only — no Jacobian allocation or stamping.
 
         The Newton line search evaluates the residual norm at several
         trial damping factors per iteration; skipping the ``N x N``
         Jacobian there roughly halves the cost of the hottest loop of
-        the transient engine.
+        the transient engine — and the compiled path further reduces the
+        linear group to one cached matrix-vector product.
         """
+        STATS.residual_evaluations += 1
+        if self._assembler is not None:
+            return self._assembler.assemble_residual(
+                x, gmin, source_scale, time, transient
+            )
+        return self.assemble_residual_reference(
+            x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
+        )
+
+    def assemble_residual_reference(
+        self,
+        x: np.ndarray,
+        gmin: float = 1e-12,
+        source_scale: float = 1.0,
+        time: Optional[float] = None,
+        transient: Optional[TransientContext] = None,
+    ) -> np.ndarray:
+        """Element-by-element ``F(x)`` (reference path)."""
         residual = np.zeros(self.size)
         stamp = _ResidualOnlyStamp(
             x=x,
@@ -129,7 +435,7 @@ class MNASystem:
 
     def kcl_residual(self, x: np.ndarray, gmin: float = 1e-12) -> float:
         """Infinity norm of the node-current residuals at ``x`` [A]."""
-        _, residual = self.assemble(x, gmin=gmin)
+        residual = self.assemble_residual(x, gmin=gmin)
         return float(np.max(np.abs(residual[: self.n_nodes]))) if self.n_nodes else 0.0
 
     def total_source_power(self, x: np.ndarray, gmin: float = 1e-12) -> float:
@@ -137,13 +443,13 @@ class MNASystem:
 
         At a DC operating point this equals the total dissipated power —
         the quantity the self-heating loop feeds into the thermal model.
+        Uses the residual-only stamp context (source ``power`` reads the
+        iterate, never the Jacobian), so no ``N x N`` matrix is built.
         """
-        jacobian = np.zeros((self.size, self.size))
-        residual = np.zeros(self.size)
-        stamp = Stamp(
+        stamp = _ResidualOnlyStamp(
             x=x,
-            jacobian=jacobian,
-            residual=residual,
+            jacobian=None,
+            residual=np.zeros(self.size),
             temperature_k=self.temperature_k,
             gmin=gmin,
             source_scale=1.0,
@@ -155,3 +461,4 @@ class MNASystem:
             if isinstance(element, (VoltageSource, CurrentSource)):
                 total += element.power(stamp)
         return total
+

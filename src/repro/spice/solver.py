@@ -19,18 +19,50 @@ than ``max_step_v`` per iteration (the guard against the junction
 exponential catapulting the iterate), and a backtracking line search
 halves the step until the residual norm actually decreases (the guard
 against rail-to-rail oscillation in stiff op-amp loops).
+
+Linear algebra goes through a :class:`NewtonWorkspace` implementing the
+production-SPICE factorization policy:
+
+* **LU reuse (modified Newton)**: the factorization from an earlier
+  iterate (or earlier transient timestep) is kept while it still
+  contracts the residual by ``reuse_contraction`` per full step; on
+  slowdown the Jacobian is refactored at the current iterate.  Far from
+  the solution the Jacobian changes every iteration and reuse buys
+  nothing, but in the convergence tail — and across the small timesteps
+  of a transient — most factorizations are redundant.
+* **dense → sparse switch**: systems at or above ``sparse_threshold``
+  unknowns factor through ``scipy.sparse.linalg.splu`` instead of dense
+  LAPACK LU, so netlist-level circuits scale past the dense O(N^3) wall.
+
+Both behaviours degrade gracefully: without scipy the workspace falls
+back to ``np.linalg.solve`` (correct, no reuse benefit).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConvergenceError
+from .elements.base import TransientContext
 from .mna import MNASystem
 from .netlist import Circuit
+from .stats import STATS
+
+try:  # scipy is an optional accelerator, not a hard dependency
+    from scipy.linalg import get_lapack_funcs
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+
+    # Raw LAPACK getrf/getrs: scipy's lu_factor/lu_solve wrappers spend
+    # more time in Python-level validation than LAPACK spends factoring
+    # the ~20-unknown matrices this repo's circuits produce.
+    _getrf, _getrs = get_lapack_funcs(("getrf", "getrs"), dtype=np.float64)
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
 
 
 @dataclass(frozen=True)
@@ -61,6 +93,38 @@ class SolverOptions:
     #: the next stage sits at ``ratio * arg*``; ratios beyond ~e saturate
     #: the tanh and strand Newton, hence the gentle default.
     gain_ramp_ratio: float = 2.0
+    #: Keep a stale LU across iterations/timesteps while it still works
+    #: (modified Newton).  Convergence criteria are unchanged — only the
+    #: step *direction* comes from a lagged Jacobian, guarded by the
+    #: contraction test below.
+    reuse_lu: bool = True
+    #: A stale-LU full step must shrink the residual norm by at least
+    #: this factor, or the Jacobian is refactored at the current iterate.
+    #: Demanding near-quadratic contraction keeps reuse confined to the
+    #: regime where the Jacobian is genuinely unchanged (transient
+    #: timesteps, warm-started sweep points) instead of letting slow
+    #: linear convergence eat the iteration budget.
+    reuse_contraction: float = 0.1
+    #: Consecutive stale-step cap: after this many reused iterations in
+    #: a row the Jacobian is refactored regardless, bounding the extra
+    #: iterations modified Newton can spend versus the fresh path.
+    reuse_limit: int = 4
+    #: Unknown count at which factorization switches from dense LAPACK
+    #: LU to scipy.sparse splu.  MNA matrices of netlist-level circuits
+    #: are extremely sparse (a handful of entries per row), so past a
+    #: few hundred unknowns the sparse path wins despite the conversion.
+    sparse_threshold: int = 200
+    #: Stagnation bail-out: if the best residual norm seen has not
+    #: halved over this many iterations, the Newton run is declared
+    #: failed immediately instead of grinding to ``max_iterations``.  A
+    #: genuinely converging run halves its residual far faster than
+    #: this; the rule exists for the hopeless cold starts (the bandgap
+    #: cell without gain stepping) that previously burned the entire
+    #: budget — hundreds of assemblies — before the fallback ladder got
+    #: its turn.  Zero disables the bail-out.
+    stall_window: int = 40
+    #: The improvement factor the stall window must achieve.
+    stall_improvement: float = 0.5
 
 
 @dataclass
@@ -71,6 +135,96 @@ class RawSolution:
     iterations: int
     residual: float
     strategy: str = "newton"
+    #: Fresh factorizations spent on this solve.
+    factorizations: int = 0
+    #: Iterations advanced on a reused (stale) factorization.
+    lu_reuses: int = 0
+
+
+class NewtonWorkspace:
+    """Reusable linear-solve state shared across Newton runs.
+
+    Owns the current factorization (dense LU, sparse splu, or a plain
+    matrix copy without scipy) plus its staleness flag and counters.
+    One workspace follows a system through all stepping strategies of a
+    DC solve, and through every timestep of a transient — which is what
+    makes cross-timestep LU reuse possible.
+    """
+
+    def __init__(self):
+        self._kind: Optional[str] = None
+        self._data = None
+        self._size: int = -1
+        #: True once the owning iterate has moved on (the factorization
+        #: no longer matches the Jacobian at the current x).
+        self.stale: bool = False
+        #: Stale steps taken since the last fresh factorization.
+        self.consecutive_reuses: int = 0
+        self.factorizations: int = 0
+        self.reuses: int = 0
+
+    @property
+    def has_factorization(self) -> bool:
+        return self._kind is not None
+
+    def invalidate(self) -> None:
+        self._kind = None
+        self._data = None
+        self._size = -1
+
+    def match_size(self, size: int) -> None:
+        """Drop the factorization if the system dimension changed."""
+        if self._size != size:
+            self.invalidate()
+            self._size = size
+
+    def factor(self, jacobian: np.ndarray, options: SolverOptions) -> bool:
+        """Factor the Jacobian; False if it is singular/non-finite."""
+        try:
+            if _HAVE_SCIPY and jacobian.shape[0] >= options.sparse_threshold:
+                self._kind = "sparse"
+                self._data = _splu(_csc_matrix(jacobian))
+                STATS.sparse_factorizations += 1
+            elif _HAVE_SCIPY:
+                lu, piv, info = _getrf(jacobian, overwrite_a=False)
+                if info != 0:
+                    # info > 0: exactly singular (routine during the
+                    # stepping ladders); info < 0: bad input.  Either
+                    # way this factorization is unusable.
+                    self.invalidate()
+                    return False
+                self._kind = "dense"
+                self._data = (lu, piv)
+            else:  # pragma: no cover - exercised only without scipy
+                self._kind = "numpy"
+                self._data = jacobian.copy()
+        except (ValueError, RuntimeError, np.linalg.LinAlgError):
+            self.invalidate()
+            return False
+        self._size = jacobian.shape[0]
+        self.stale = False
+        self.consecutive_reuses = 0
+        self.factorizations += 1
+        STATS.factorizations += 1
+        return True
+
+    def solve(self, rhs: np.ndarray) -> Optional[np.ndarray]:
+        """Solve against the held factorization; None on blow-up."""
+        try:
+            if self._kind == "sparse":
+                step = self._data.solve(rhs)
+            elif self._kind == "dense":
+                lu, piv = self._data
+                step, info = _getrs(lu, piv, rhs)
+                if info != 0:
+                    return None
+            else:  # pragma: no cover - exercised only without scipy
+                step = np.linalg.solve(self._data, rhs)
+        except (ValueError, RuntimeError, np.linalg.LinAlgError):
+            return None
+        if not np.all(np.isfinite(step)):
+            return None
+        return step
 
 
 def _newton(
@@ -79,42 +233,114 @@ def _newton(
     options: SolverOptions,
     gmin: float,
     source_scale: float,
-    time: float = None,
-    transient=None,
+    time: Optional[float] = None,
+    transient: Optional[TransientContext] = None,
+    workspace: Optional[NewtonWorkspace] = None,
 ) -> Optional[RawSolution]:
     """One damped Newton run; None if it does not converge.
 
     ``time``/``transient`` are forwarded to the assembly so the same
     damping/line-search machinery serves the DC analyses and every
-    timestep re-solve of the transient engine.
+    timestep re-solve of the transient engine.  ``workspace`` carries
+    the LU factorization (and its reuse policy) across calls.
     """
+    ws = workspace if workspace is not None else NewtonWorkspace()
+    ws.match_size(system.size)
+    factorizations_before = ws.factorizations
+    reuses_before = ws.reuses
     x = x0.copy()
     n_nodes = system.n_nodes
 
-    def converged(residual: np.ndarray) -> bool:
-        kcl = float(np.max(np.abs(residual[:n_nodes]))) if n_nodes else 0.0
+    def converged(abs_residual: np.ndarray) -> bool:
+        kcl = float(abs_residual[:n_nodes].max()) if n_nodes else 0.0
         branch = (
-            float(np.max(np.abs(residual[n_nodes:])))
-            if residual.size > n_nodes
+            float(abs_residual[n_nodes:].max())
+            if abs_residual.size > n_nodes
             else 0.0
         )
         return kcl < options.abstol and branch < options.vtol
 
+    def evaluate(candidate: np.ndarray):
+        trial = system.assemble_residual(
+            candidate,
+            gmin=gmin,
+            source_scale=source_scale,
+            time=time,
+            transient=transient,
+        )
+        abs_trial = np.abs(trial)
+        return trial, abs_trial, float(abs_trial.max())
+
+    STATS.newton_solves += 1
+    # The residual vector is carried across iterations: a line-search or
+    # reuse-probe evaluation at the accepted candidate IS the next
+    # iterate's residual, so the loop never recomputes F(x) it already
+    # knows.  The full (J, F) assembly runs only when a factorization is
+    # actually taken.
+    residual, abs_residual, norm = evaluate(x)
+    best_norm = norm
+    stall_best = norm
+    stall_deadline = options.stall_window
     for iteration in range(1, options.max_iterations + 1):
-        jacobian, residual = system.assemble(
+        STATS.iterations += 1
+        if converged(abs_residual):
+            # The residual of *this* iterate is converged; return it.
+            return RawSolution(
+                x=x,
+                iterations=iteration,
+                residual=norm,
+                factorizations=ws.factorizations - factorizations_before,
+                lu_reuses=ws.reuses - reuses_before,
+            )
+        if options.stall_window and iteration > stall_deadline:
+            if best_norm > options.stall_improvement * stall_best:
+                # No meaningful progress in a whole window: this run is
+                # not going to make it — hand over to the fallback
+                # ladder now rather than at max_iterations.
+                return None
+            stall_best = best_norm
+            stall_deadline = iteration + options.stall_window
+
+        # -- modified-Newton fast path: try the stale factorization.
+        # Only the undamped step is probed, and only while it stays
+        # inside the max_step_v junction guard — a stale LU that wants a
+        # big move (cold start, snap-on) gets a fresh Jacobian with the
+        # full damping machinery instead.  Strong contraction plus the
+        # consecutive-reuse cap keep reuse from trading one saved
+        # factorization for many linearly-converging iterations.
+        if (
+            options.reuse_lu
+            and ws.stale
+            and ws.has_factorization
+            and ws.consecutive_reuses < options.reuse_limit
+        ):
+            step = ws.solve(residual)
+            if step is not None and (
+                step.size == 0
+                or float(np.abs(step).max()) <= options.max_step_v
+            ):
+                candidate = x - step
+                trial, abs_trial, trial_norm = evaluate(candidate)
+                if trial_norm < options.reuse_contraction * norm:
+                    ws.reuses += 1
+                    ws.consecutive_reuses += 1
+                    STATS.lu_reuses += 1
+                    x, residual, abs_residual, norm = (
+                        candidate, trial, abs_trial, trial_norm,
+                    )
+                    best_norm = min(best_norm, norm)
+                    continue
+
+        # -- full Newton: factor at the current iterate.
+        jacobian, _ = system.assemble(
             x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
         )
-        norm = float(np.max(np.abs(residual)))
-        if converged(residual):
-            # The residual of *this* iterate is converged; return it.
-            return RawSolution(x=x, iterations=iteration, residual=norm)
-        try:
-            step = np.linalg.solve(jacobian, residual)
-        except np.linalg.LinAlgError:
+        if not ws.factor(jacobian, options):
             return None
-        if not np.all(np.isfinite(step)):
+        step = ws.solve(residual)
+        if step is None:
             return None
-        max_step = float(np.max(np.abs(step))) if step.size else 0.0
+        max_step = float(np.abs(step).max()) if step.size else 0.0
         clamp = 1.0 if max_step <= options.max_step_v else options.max_step_v / max_step
         # Backtracking line search over a damping ladder: the full Newton
         # step first (solves linear and mildly nonlinear systems in one
@@ -127,18 +353,21 @@ def _newton(
         accepted = None
         for damping in ladder:
             candidate = x - damping * step
-            trial_residual = system.assemble_residual(
-                candidate,
-                gmin=gmin,
-                source_scale=source_scale,
-                time=time,
-                transient=transient,
-            )
-            trial_norm = float(np.max(np.abs(trial_residual)))
+            trial, abs_trial, trial_norm = evaluate(candidate)
             if trial_norm < norm:
                 accepted = candidate
                 break
-        x = accepted if accepted is not None else x - ladder[-1] * step
+        if accepted is not None:
+            x, residual, abs_residual, norm = accepted, trial, abs_trial, trial_norm
+        else:
+            # No descent anywhere on the ladder: take the smallest rung.
+            # That candidate was the ladder's last evaluation, so its
+            # residual is already in hand.
+            x, residual, abs_residual, norm = candidate, trial, abs_trial, trial_norm
+        best_norm = min(best_norm, norm)
+        # Whatever happens next, this factorization refers to a bygone
+        # iterate.
+        ws.stale = True
     return None
 
 
@@ -147,7 +376,8 @@ def _gain_stepping(
     circuit: Circuit,
     start: np.ndarray,
     options: SolverOptions,
-    time: float = None,
+    time: Optional[float] = None,
+    workspace: Optional[NewtonWorkspace] = None,
 ) -> Optional[RawSolution]:
     """Ramp op-amp open-loop gains from ~1 to final, warm-starting."""
     from .elements.opamp import OpAmp
@@ -164,7 +394,8 @@ def _gain_stepping(
             for amp, final in zip(amps, final_gains):
                 amp.gain = min(final, gain)
             stage = _newton(
-                system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+                system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
+                workspace=workspace,
             )
             if stage is None:
                 return None
@@ -174,7 +405,8 @@ def _gain_stepping(
         for amp, final in zip(amps, final_gains):
             amp.gain = final
     final_solution = _newton(
-        system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+        system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
+        workspace=workspace,
     )
     if final_solution is not None:
         final_solution.strategy = "gain-stepping"
@@ -186,7 +418,7 @@ def solve_dc(
     temperature_k: float = 300.15,
     options: Optional[SolverOptions] = None,
     x0: Optional[np.ndarray] = None,
-    time: float = None,
+    time: Optional[float] = None,
 ) -> RawSolution:
     """Solve the DC operating point; raises ConvergenceError on failure.
 
@@ -197,6 +429,7 @@ def solve_dc(
     """
     options = options or SolverOptions()
     system = MNASystem(circuit, temperature_k=temperature_k)
+    workspace = NewtonWorkspace()
     start = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float).copy()
     if start.shape != (system.size,):
         raise ConvergenceError(
@@ -204,38 +437,49 @@ def solve_dc(
         )
 
     solution = _newton(
-        system, start, options, gmin=options.gmin, source_scale=1.0, time=time
+        system, start, options, gmin=options.gmin, source_scale=1.0, time=time,
+        workspace=workspace,
     )
     if solution is not None:
+        STATS.record_strategy(solution.strategy)
         return solution
 
     # Gain stepping (only useful when op-amp macros are present).
-    solution = _gain_stepping(system, circuit, start, options, time=time)
+    solution = _gain_stepping(
+        system, circuit, start, options, time=time, workspace=workspace
+    )
     if solution is not None:
+        STATS.record_strategy(solution.strategy)
         return solution
 
     # gmin stepping.
     x = start.copy()
     failed = False
     for gmin in options.gmin_ladder:
-        stage = _newton(system, x, options, gmin=gmin, source_scale=1.0, time=time)
+        stage = _newton(
+            system, x, options, gmin=gmin, source_scale=1.0, time=time,
+            workspace=workspace,
+        )
         if stage is None:
             failed = True
             break
         x = stage.x
     if not failed:
         final = _newton(
-            system, x, options, gmin=options.gmin, source_scale=1.0, time=time
+            system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
+            workspace=workspace,
         )
         if final is not None:
             final.strategy = "gmin-stepping"
+            STATS.record_strategy(final.strategy)
             return final
 
     # Source stepping.
     x = np.zeros(system.size)
     for scale in options.source_ramp:
         stage = _newton(
-            system, x, options, gmin=options.gmin, source_scale=scale, time=time
+            system, x, options, gmin=options.gmin, source_scale=scale, time=time,
+            workspace=workspace,
         )
         if stage is None:
             raise ConvergenceError(
@@ -244,4 +488,5 @@ def solve_dc(
             )
         x = stage.x
     stage.strategy = "source-stepping"
+    STATS.record_strategy(stage.strategy)
     return stage

@@ -1,0 +1,74 @@
+"""Global solver instrumentation counters.
+
+A single process-wide :class:`SolverStats` accumulator that the MNA
+assembler and the Newton solver update as they run.  The CLI's
+``--bench`` mode resets it before an experiment and prints the snapshot
+afterwards, so every benchmark ships with the iteration/factorization
+trajectory that produced its wall time.
+
+The counters are plain int increments on a singleton — cheap enough to
+leave permanently enabled (the hot loops they instrument each do an
+``N x N`` matrix operation per increment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across all solves since the last reset."""
+
+    #: Completed Newton runs (one per DC solve attempt / transient step).
+    newton_solves: int = 0
+    #: Newton iterations (full Jacobian assembly + linear solve each).
+    iterations: int = 0
+    #: Fresh LU/splu factorizations.
+    factorizations: int = 0
+    #: Iterations advanced on a stale (reused) factorization.
+    lu_reuses: int = 0
+    #: Residual-only assemblies (line-search probes, reuse probes).
+    residual_evaluations: int = 0
+    #: Full (J, F) assemblies through the compiled fast path.
+    compiled_assemblies: int = 0
+    #: Full (J, F) assemblies through the reference element-by-element path.
+    reference_assemblies: int = 0
+    #: Factorizations routed to scipy.sparse ``splu`` (above the size
+    #: threshold) rather than dense LAPACK LU.
+    sparse_factorizations: int = 0
+    #: Successful DC strategies, keyed by ``RawSolution.strategy``.
+    strategies: Dict[str, int] = field(default_factory=dict)
+
+    def record_strategy(self, name: str) -> None:
+        self.strategies[name] = self.strategies.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.newton_solves = 0
+        self.iterations = 0
+        self.factorizations = 0
+        self.lu_reuses = 0
+        self.residual_evaluations = 0
+        self.compiled_assemblies = 0
+        self.reference_assemblies = 0
+        self.sparse_factorizations = 0
+        self.strategies = {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every counter."""
+        return {
+            "newton_solves": self.newton_solves,
+            "iterations": self.iterations,
+            "factorizations": self.factorizations,
+            "lu_reuses": self.lu_reuses,
+            "residual_evaluations": self.residual_evaluations,
+            "compiled_assemblies": self.compiled_assemblies,
+            "reference_assemblies": self.reference_assemblies,
+            "sparse_factorizations": self.sparse_factorizations,
+            "strategies": dict(self.strategies),
+        }
+
+
+#: The process-wide accumulator.
+STATS = SolverStats()

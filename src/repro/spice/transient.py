@@ -43,7 +43,7 @@ from .elements.base import DynamicState, TransientContext
 from .elements.sources import Waveform
 from .mna import MNASystem
 from .netlist import Circuit
-from .solver import SolverOptions, _newton, solve_dc
+from .solver import NewtonWorkspace, SolverOptions, _newton, solve_dc
 
 #: Integration order of each method (for the step-growth exponent).
 _METHOD_ORDER = {"be": 1, "trap": 2}
@@ -111,6 +111,10 @@ class TransientResult:
     rejected_lte: int = 0
     #: Step-size retries forced by Newton non-convergence.
     newton_retries: int = 0
+    #: Fresh LU factorizations spent on the whole run (excl. initial DC).
+    factorizations: int = 0
+    #: Newton iterations advanced on a reused (stale) factorization.
+    lu_reuses: int = 0
 
     # -- waveforms -----------------------------------------------------
     def voltage(self, node: str) -> np.ndarray:
@@ -285,6 +289,12 @@ def transient_analysis(
     order_exponent = 1.0 / (_METHOD_ORDER[options.method] + 1.0)
 
     system = MNASystem(circuit, temperature_k=temperature_k)
+    # One workspace for the whole run: the LU from a previous timestep
+    # (or iteration) is reused while it still contracts the residual —
+    # across the many small steps of a settled waveform, most
+    # factorizations are redundant and the reuse guard keeps the stiff
+    # snap-on intervals on fresh Jacobians.
+    workspace = NewtonWorkspace()
     initial = solve_dc(
         circuit,
         temperature_k=temperature_k,
@@ -346,15 +356,42 @@ def transient_analysis(
             dt = breakpoints[next_breakpoint] - t
         t_new = t + dt
         ctx = TransientContext(dt=dt, method=options.method, states=states)
+        # Explicit linear predictor over the last two accepted points:
+        # the LTE yardstick, and — when available — the Newton starting
+        # point.  Warm-starting at the extrapolation instead of the
+        # previous timepoint typically saves an iteration or two per
+        # step (the SPICE convention); a bad extrapolation just fails
+        # the step's Newton and retries smaller, like any hard step.
+        predictor = None
+        if len(times) >= 2:
+            dt_prev = times[-1] - times[-2]
+            predictor = solutions[-1] + (solutions[-1] - solutions[-2]) * (
+                dt / dt_prev
+            )
+        start = predictor if predictor is not None else x
         solution = _newton(
             system,
-            x,
+            start,
             options.newton,
             gmin=options.newton.gmin,
             source_scale=1.0,
             time=t_new,
             transient=ctx,
+            workspace=workspace,
         )
+        if solution is None and predictor is not None:
+            # The extrapolated start can overshoot a discontinuity the
+            # previous timepoint survives; fall back before shrinking.
+            solution = _newton(
+                system,
+                x,
+                options.newton,
+                gmin=options.newton.gmin,
+                source_scale=1.0,
+                time=t_new,
+                transient=ctx,
+                workspace=workspace,
+            )
         if solution is None:
             newton_retries += 1
             just_rejected = True
@@ -366,9 +403,7 @@ def transient_analysis(
                 )
             continue
 
-        if options.adaptive and len(times) >= 2 and dynamic:
-            dt_prev = times[-1] - times[-2]
-            predictor = solutions[-1] + (solutions[-1] - solutions[-2]) * (dt / dt_prev)
+        if options.adaptive and predictor is not None and dynamic:
             err = 0.0
             scale = 0.0
             for el in dynamic:
@@ -422,4 +457,6 @@ def transient_analysis(
         initial_strategy=initial.strategy,
         rejected_lte=rejected_lte,
         newton_retries=newton_retries,
+        factorizations=workspace.factorizations,
+        lu_reuses=workspace.reuses,
     )

@@ -1,0 +1,234 @@
+"""Equivalence contract of the compiled assembly engine.
+
+The compiled path (cached linear stamps + COO scatter for the nonlinear
+group) must produce the same ``(J, F)`` as the retained reference
+element-by-element assembler — on every registered circuit, at
+arbitrary iterates, under every configuration knob the solver turns
+(gmin, source_scale, time) and for a mid-transient companion-model
+step with non-trivial integrator state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.bandgap_cell import BandgapCellConfig, build_bandgap_cell
+from repro.circuits.bias_pair import BiasedPair, build_bias_pair_circuit
+from repro.circuits.startup import (
+    StartupRampConfig,
+    Sub1VStartupConfig,
+    build_startup_bandgap_cell,
+    build_startup_sub1v_cell,
+)
+from repro.circuits.sub1v import build_sub1v_cell
+from repro.spice import (
+    VCCS,
+    VCVS,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.elements.controlled import CCCS, CCVS
+from repro.spice.elements.base import DynamicState, TransientContext
+from repro.spice.elements.diode import Diode
+from repro.spice.elements.opamp import OpAmp
+from repro.spice.mna import MNASystem
+from repro.spice.solver import solve_dc
+
+#: Matching tolerance: the two paths may only differ by summation-order
+#: rounding, parts in 1e16 of the largest stamped term.
+ATOL = 1e-12
+RTOL = 1e-12
+
+
+def _rc_ladder() -> Circuit:
+    circuit = Circuit("rc ladder")
+    circuit.add(VoltageSource("V1", "in", "0", 3.3))
+    circuit.add(Resistor("R1", "in", "mid", 1e3, tc1=2e-3))
+    circuit.add(Resistor("R2", "mid", "0", 2e3))
+    circuit.add(Capacitor("C1", "mid", "0", 1e-9))
+    circuit.add(Capacitor("C2", "in", "mid", 3e-10))
+    circuit.add(CurrentSource("I1", "0", "mid", lambda t: 1e-6 * t))
+    return circuit
+
+
+def _diode_chain() -> Circuit:
+    circuit = Circuit("diode chain")
+    circuit.add(VoltageSource("V1", "n0", "0", 2.5))
+    circuit.add(Resistor("R1", "n0", "m0", 1e3))
+    for index in range(3):
+        circuit.add(Diode(f"D{index}", f"m{index}", f"m{index + 1}"))
+    circuit.add(Resistor("RL", "m3", "0", 1e3))
+    return circuit
+
+
+def _controlled_zoo() -> Circuit:
+    circuit = Circuit("controlled sources")
+    circuit.add(VoltageSource("V1", "in", "0", 0.7))
+    circuit.add(Resistor("R1", "in", "a", 1e3))
+    circuit.add(VCVS("E1", "b", "0", "in", "a", 4.0))
+    circuit.add(Resistor("R2", "b", "c", 2e3))
+    circuit.add(VCCS("G1", "0", "c", "b", "0", 1e-4))
+    sense = VoltageSource("VS", "c", "d", 0.0)
+    circuit.add(sense)
+    circuit.add(CCCS("F1", "0", "a", sense, 2.0))
+    circuit.add(CCVS("H1", "d", "0", sense, 50.0))
+    return circuit
+
+
+def _opamp_follower() -> Circuit:
+    circuit = Circuit("opamp follower")
+    circuit.add(VoltageSource("V1", "in", "0", 1.2))
+    circuit.add(OpAmp("A1", "in", "out", "out", gain=5e3))
+    circuit.add(Resistor("RL", "out", "0", 1e4))
+    return circuit
+
+
+def _bandgap_trimmed() -> Circuit:
+    return build_bandgap_cell(BandgapCellConfig(radja=2.5e3, p5_tap_offset_v=1e-4))
+
+
+#: Every netlist-level circuit family in the repo, by builder.
+CIRCUITS = {
+    "rc_ladder": _rc_ladder,
+    "diode_chain": _diode_chain,
+    "controlled_zoo": _controlled_zoo,
+    "opamp_follower": _opamp_follower,
+    "bias_pair": lambda: build_bias_pair_circuit(BiasedPair()),
+    "bandgap_cell": build_bandgap_cell,
+    "bandgap_trimmed": _bandgap_trimmed,
+    "sub1v_cell": build_sub1v_cell,
+    "startup_bandgap": lambda: build_startup_bandgap_cell(StartupRampConfig()),
+    "startup_sub1v": lambda: build_startup_sub1v_cell(Sub1VStartupConfig()),
+}
+
+#: (gmin, source_scale) corners the stepping strategies exercise.
+CONDITIONS = [(1e-12, 1.0), (1e-3, 1.0), (1e-12, 0.3)]
+
+
+def _iterates(size: int):
+    """A deterministic spread of iterates: origin, offsets, random."""
+    rng = np.random.default_rng(1234)
+    return [
+        np.zeros(size),
+        np.full(size, 0.61),
+        rng.normal(0.4, 0.8, size),
+    ]
+
+
+def _transient_context(circuit, x):
+    """A mid-run integration context with non-trivial history."""
+    dynamic = [el for el in circuit.elements if el.is_dynamic]
+    if not dynamic:
+        return None
+    states = {
+        el.name: DynamicState(
+            charge=el.charge_at(x) * 0.7 + 1e-12, current=1e-6 * (1 + index)
+        )
+        for index, el in enumerate(dynamic)
+    }
+    return TransientContext(dt=2.5e-7, method="trap", states=states)
+
+
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+def test_dc_assembly_matches_reference(name):
+    circuit = CIRCUITS[name]()
+    compiled = MNASystem(circuit, compiled=True)
+    reference = MNASystem(circuit, compiled=False)
+    assert compiled.compiled and not reference.compiled
+    for x in _iterates(compiled.size):
+        for gmin, scale in CONDITIONS:
+            jc, fc = compiled.assemble(x, gmin=gmin, source_scale=scale)
+            jr, fr = reference.assemble(x, gmin=gmin, source_scale=scale)
+            np.testing.assert_allclose(jc, jr, rtol=RTOL, atol=ATOL)
+            np.testing.assert_allclose(fc, fr, rtol=RTOL, atol=ATOL)
+            rc = compiled.assemble_residual(x, gmin=gmin, source_scale=scale)
+            np.testing.assert_allclose(rc, fr, rtol=RTOL, atol=ATOL)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in sorted(CIRCUITS)
+     if any(el.is_dynamic for el in CIRCUITS[n]().elements)],
+)
+def test_transient_step_assembly_matches_reference(name):
+    circuit = CIRCUITS[name]()
+    compiled = MNASystem(circuit, compiled=True)
+    reference = MNASystem(circuit, compiled=False)
+    for x in _iterates(compiled.size):
+        ctx = _transient_context(circuit, x)
+        jc, fc = compiled.assemble(x, time=3e-6, transient=ctx)
+        jr, fr = reference.assemble(x, time=3e-6, transient=ctx)
+        np.testing.assert_allclose(jc, jr, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(fc, fr, rtol=RTOL, atol=ATOL)
+        rc = compiled.assemble_residual(x, time=3e-6, transient=ctx)
+        np.testing.assert_allclose(rc, fr, rtol=RTOL, atol=ATOL)
+
+
+def test_fresh_context_refreshes_companion_history():
+    """Advancing the integrator state must invalidate the cached b_lin."""
+    circuit = _rc_ladder()
+    compiled = MNASystem(circuit, compiled=True)
+    reference = MNASystem(circuit, compiled=False)
+    x = np.full(compiled.size, 0.5)
+    dynamic = [el for el in circuit.elements if el.is_dynamic]
+    states = {el.name: DynamicState() for el in dynamic}
+    ctx = TransientContext(dt=1e-7, method="be", states=states)
+    _, f0 = compiled.assemble(x, transient=ctx)
+    # Advance the history (as the engine does on step acceptance) and
+    # open a new context — the compiled residual must track it.
+    for el in dynamic:
+        states[el.name].charge = el.charge_at(x)
+        states[el.name].current = 3e-5
+    ctx2 = TransientContext(dt=1e-7, method="be", states=states)
+    _, fc = compiled.assemble(x, transient=ctx2)
+    _, fr = reference.assemble(x, transient=ctx2)
+    np.testing.assert_allclose(fc, fr, rtol=RTOL, atol=ATOL)
+    assert not np.allclose(fc, f0)  # the state change is visible
+
+
+def test_invalidate_tracks_linear_value_mutation():
+    """Mutating a linear element on a live system needs invalidate()."""
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("V1", "in", "0", 2.0))
+    resistor = Resistor("R1", "in", "out", 1e3)
+    circuit.add(resistor)
+    circuit.add(Resistor("R2", "out", "0", 1e3))
+    system = MNASystem(circuit, compiled=True)
+    x = np.zeros(system.size)
+    system.assemble(x)
+    resistor.resistance = 2e3
+    system.invalidate()
+    jc, fc = system.assemble(x)
+    jr, fr = MNASystem(circuit, compiled=False).assemble(x)
+    np.testing.assert_allclose(jc, jr, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(fc, fr, rtol=RTOL, atol=ATOL)
+
+
+@pytest.mark.parametrize("name", ["diode_chain", "bandgap_cell", "sub1v_cell"])
+def test_compiled_and_reference_solve_to_same_point(name):
+    """End to end: both assembly paths land on the same operating point."""
+    compiled = solve_dc(CIRCUITS[name]())
+    import os
+
+    os.environ["REPRO_COMPILED"] = "0"
+    try:
+        reference = solve_dc(CIRCUITS[name]())
+    finally:
+        del os.environ["REPRO_COMPILED"]
+    assert compiled.x == pytest.approx(reference.x, abs=1e-9)
+
+
+def test_total_source_power_matches_elementwise_sum():
+    """The residual-only power path equals a hand sum over sources."""
+    circuit = _rc_ladder()
+    solution = solve_dc(circuit)
+    system = MNASystem(circuit)
+    total = system.total_source_power(solution.x)
+    # V1 drives the ladder; I1 injects into mid.  Recompute by hand.
+    v_in = solution.x[circuit.node_index("in")]
+    v_mid = solution.x[circuit.node_index("mid")]
+    i_v1 = solution.x[circuit.element("V1").branch_index()]
+    by_hand = -(v_in - 0.0) * i_v1 + (1e-6 * 300.15) * (v_mid - 0.0)
+    assert total == pytest.approx(by_hand, rel=1e-9)

@@ -73,3 +73,31 @@ class TestCli:
         err = capsys.readouterr().err
         assert status == 2
         assert "--export requires a directory argument" in err
+
+    def test_bench_prints_wall_time_and_solver_stats(self, capsys):
+        import json
+
+        status = main(["--bench", "fig1"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "bench fig1: wall=" in out
+        assert "factorizations=" in out
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        assert len(bench_lines) == 1
+        row = json.loads(bench_lines[0][len("BENCH "):])
+        assert row["experiment"] == "fig1"
+        assert row["wall_s"] >= 0.0
+        assert "iterations" in row and "lu_reuses" in row
+
+    def test_workers_flag_does_not_change_results(self, capsys):
+        status = main(["--workers", "2", "fig1", "ablation_current_ratio"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Fig. 1" in out
+        assert "eq. 19-20" in out
+
+    def test_workers_flag_rejects_non_integer(self, capsys):
+        status = main(["--workers", "many", "fig1"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "--workers" in err
