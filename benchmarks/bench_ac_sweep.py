@@ -1,0 +1,60 @@
+"""Benchmark: the AC small-signal sweep family.
+
+The frequency-domain workload behind the PSRR / loop-gain / output-
+impedance experiments: linearise the AC-ready bandgap cell at a solved
+operating point and sweep the complex system over a log frequency grid.
+One benchmark times a single linearise-and-sweep (DC solve included —
+that is the real cost profile of the workload); a second times the
+multi-temperature chain family through ``ac_solve_batch`` (one
+re-temperatured system per chain, REPRO_WORKERS fans chains out on
+multi-core hosts); a third isolates the pure complex-sweep cost by
+reusing one linearisation across repeated sweeps.
+"""
+
+import numpy as np
+
+from repro.experiments.ac_common import build_psrr_cell
+from repro.spice.ac import ACSweepChain, ACSystem, ac_solve_batch, log_frequencies
+from repro.spice.analysis import operating_point
+from repro.spice.mna import MNASystem
+
+FREQS = tuple(log_frequencies(10.0, 1e7, points_per_decade=4))
+TEMPS_K = (247.0, 297.0, 348.0)
+
+
+def _assert_psrr_window(result) -> None:
+    psrr_db = -result.magnitude_db("vref")
+    assert np.all(psrr_db > 40.0), psrr_db
+
+
+def test_ac_single_sweep(benchmark):
+    """DC solve + linearisation + one 25-point complex sweep."""
+
+    def run():
+        ac_system = ACSystem.from_circuit(build_psrr_cell())
+        return ac_system.solve(FREQS)
+
+    _assert_psrr_window(benchmark(run))
+
+
+def test_ac_batch_temperature_chains(benchmark):
+    """The PSRR temperature family as parallel AC chains."""
+    chains = [
+        ACSweepChain(
+            builder=build_psrr_cell,
+            frequencies_hz=FREQS,
+            temperatures_k=(temperature,),
+        )
+        for temperature in TEMPS_K
+    ]
+    batches = benchmark(ac_solve_batch, chains)
+    for batch in batches:
+        _assert_psrr_window(batch[0])
+
+
+def test_ac_resweep_reuses_linearisation(benchmark):
+    """The pure complex-solve cost: one operating point, many sweeps."""
+    circuit = build_psrr_cell()
+    op = operating_point(circuit)
+    ac_system = ACSystem(MNASystem(circuit), op.x, op=op)
+    _assert_psrr_window(benchmark(ac_system.solve, FREQS))

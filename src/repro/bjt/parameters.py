@@ -45,6 +45,16 @@ class BJTParameters:
         The temperature parameters under study (paper eq. 1) [eV, -].
     xtb:
         Temperature exponent of beta (SPICE XTB).
+    cje, cjc:
+        Zero-bias B-E / B-C depletion capacitances [F] (0 = no charge
+        storage, the DC-only historic default; the AC subsystem stamps
+        these as ``dQ/dV`` at the operating point).
+    vje, vjc, mje, mjc:
+        Junction built-in potentials [V] and grading coefficients of the
+        depletion laws.
+    tf:
+        Forward transit time [s] — the diffusion capacitance
+        ``tf * gm`` in the small-signal model.
     area:
         Emitter area in um^2 — used for relative scaling only.
     tnom:
@@ -75,6 +85,13 @@ class BJTParameters:
     eg: float = 1.1324
     xti: float = 3.4616
     xtb: float = 1.5
+    cje: float = 0.0
+    cjc: float = 0.0
+    vje: float = 0.75
+    vjc: float = 0.75
+    mje: float = 0.33
+    mjc: float = 0.33
+    tf: float = 0.0
     area: float = 6.0
     tnom: float = T_NOMINAL
     polarity: str = "pnp"
@@ -95,6 +112,12 @@ class BJTParameters:
             raise ModelError("IKF must be positive (use inf to disable)")
         if min(self.rb, self.re, self.rc) < 0.0:
             raise ModelError("series resistances must be non-negative")
+        if self.cje < 0.0 or self.cjc < 0.0 or self.tf < 0.0:
+            raise ModelError("junction capacitances and TF must be non-negative")
+        if self.vje <= 0.0 or self.vjc <= 0.0:
+            raise ModelError("junction potentials must be positive")
+        if not 0.0 < self.mje < 1.0 or not 0.0 < self.mjc < 1.0:
+            raise ModelError("grading coefficients must be in (0, 1)")
         if not 0.5 <= self.eg <= 2.0:
             raise ModelError(f"EG={self.eg} eV is outside the plausible silicon range")
         if not -2.0 <= self.xti <= 10.0:
@@ -122,6 +145,8 @@ class BJTParameters:
             rb=self.rb / area_factor,
             re=self.re / area_factor,
             rc=self.rc / area_factor,
+            cje=self.cje * area_factor,
+            cjc=self.cjc * area_factor,
             area=self.area * area_factor,
             name=name if name is not None else f"{self.name}x{area_factor:g}",
         )
@@ -153,6 +178,12 @@ class BJTParameters:
             "XTB": self.xtb,
             "TNOM": self.tnom,
         }
+        if self.cje > 0.0:
+            fields.update({"CJE": self.cje, "VJE": self.vje, "MJE": self.mje})
+        if self.cjc > 0.0:
+            fields.update({"CJC": self.cjc, "VJC": self.vjc, "MJC": self.mjc})
+        if self.tf > 0.0:
+            fields["TF"] = self.tf
         body = " ".join(f"{key}={value:.6g}" for key, value in fields.items())
         return f".MODEL {self.name} {kind} ({body})"
 

@@ -31,7 +31,7 @@ that the ideal cell is an exact textbook bandgap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..bjt.parameters import BJTParameters, PAPER_PNP_SMALL
 from ..bjt.substrate import SubstratePNP
@@ -131,6 +131,8 @@ def build_bandgap_cell(
     nodes: CellNodes = CellNodes(),
     supply_node: Optional[str] = None,
     amp_output_resistance: float = 0.0,
+    amp_pole_hz: Optional[float] = None,
+    amp_inputs: Optional[Tuple[str, str]] = None,
 ) -> Circuit:
     """Build the test-cell netlist for the given configuration.
 
@@ -142,6 +144,17 @@ def build_bandgap_cell(
     drive impedance — with a load capacitor this is what gives the
     startup waveform its time constant.  Both default to off, leaving
     the DC cell exactly as before.
+
+    ``amp_pole_hz`` gives the amplifier macro a single open-loop pole in
+    small-signal (AC) analyses; ``amp_inputs`` makes the amplifier sense
+    that ``(inp, inn)`` node pair *instead of* ``(p4, nb)`` — i.e. it
+    breaks the feedback loop at the amplifier input.  That is the right
+    place to break it: the macro's inputs draw no current, so pinning
+    them to external sources changes no loading anywhere — the network
+    still hangs off the amplifier output (through its output
+    resistance) exactly as in closed loop, and with the test pair
+    pinned at the closed-loop values of ``p4``/``nb`` the broken
+    circuit linearises at the closed loop's own operating point.
     """
     config = config or BandgapCellConfig()
     circuit = Circuit(title="bandgap test cell (paper Fig. 3)")
@@ -170,15 +183,20 @@ def build_bandgap_cell(
 
     # The amplifier, with the RadjA trim folded into its offset law.
     trim = config.trim()
+    amp_kwargs = {}
+    if amp_pole_hz is not None:
+        amp_kwargs["pole_hz"] = amp_pole_hz
+    sense_p, sense_n = amp_inputs if amp_inputs is not None else (nodes.p4, nodes.nb)
     attach_amplifier(
         circuit,
-        nodes.p4,
-        nodes.nb,
+        sense_p,
+        sense_n,
         nodes.vref,
         output_resistance=amp_output_resistance,
         gain=config.opamp_gain,
         vos=trim.offset_law(),
         supply=supply_node,
+        **amp_kwargs,
     )
 
     # Measurement tap for pad P5: a series source models the path offset

@@ -7,7 +7,8 @@ also writes each regenerated table as ``DIR/<experiment>.csv``.
 
 ``--bench`` times each named experiment and prints its wall time plus
 the solver-statistics snapshot (Newton iterations, factorizations, LU
-reuses, assembly-path counters, DC strategies) both human-readably and
+reuses, assembly-path counters, AC solve/factorization-reuse counters,
+DC strategies) both human-readably and
 as a machine-scrapable ``BENCH {json}`` line, so perf trajectories can
 be collected from plain CI logs.  ``--workers N`` fans independent work
 (experiments, sweep chains, Monte-Carlo chips) over N processes
@@ -136,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"residual_evals={row['residual_evaluations']}  "
             f"assemblies={row['compiled_assemblies']}c/"
             f"{row['reference_assemblies']}r  "
+            f"ac={row['ac_solves']}s/{row['ac_factorizations']}f/"
+            f"{row['ac_factor_reuses']}r  "
             f"strategies: {strategies or '-'}"
         )
         print("BENCH " + json.dumps(row, sort_keys=True))

@@ -13,6 +13,9 @@ regenerates its data and checks the shape criteria of DESIGN.md:
 ``ablation_current_ratio`` E8: the A = (kT2/q) ln X magnitude
 ``ablation_solver``        netlist vs behavioural cross-check
 ``startup_transient``      VDD-ramp startup of both reference cells
+``psrr_vref``              PSRR(f) of the cell vs temperature (AC)
+``loop_gain``              feedback-loop Bode plot with margins (AC)
+``zout_vref``              output impedance vs frequency (AC)
 ======================  =========================================
 
 Use :func:`run_experiment`/:func:`run_all` or ``python -m repro``.
@@ -29,6 +32,9 @@ from . import (  # noqa: F401  (imports register the runners)
     ablations,
     sub1v_extension,
     startup_transient,
+    psrr_vref,
+    loop_gain,
+    zout_vref,
 )
 from .report import render_result, render_summary
 

@@ -1,0 +1,96 @@
+"""Loop gain and stability margins of the cell's amplifier feedback loop.
+
+The classic broken-loop measurement, done where it does not disturb the
+loading: solve the *closed* loop's DC operating point, then break the
+loop at the amplifier *input* (the macro draws no input current, so
+pinning the sense pair to the closed-loop values of ``p4``/``nb``
+changes nothing else), excite the pinned pair with a unit AC signal and
+read the difference the feedback network returns.  That return ratio
+``L(jw)`` — rendered on a probe node by a gain ``-1`` VCVS so it is
+positive real at DC — has the unity-gain crossover and -180 deg
+crossing that define the phase and gain margins.
+
+Three poles shape the profile: the amplifier macro's dominant pole, the
+output pole (output resistance against the load capacitor) and the
+far-out amplifier-input parasitic poles — enough phase accumulation for
+a finite gain margin inside the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spice.ac import ac_analysis, log_frequencies
+from ..spice.analysis import operating_point
+from ..circuits.bandgap_cell import CellNodes, measure_vref
+from .ac_common import LOOP_RETURN_NODE, build_loop_gain_cell, build_psrr_cell
+from .registry import ExperimentResult, register
+
+#: Swept band [Hz] — wide enough to reach the -180 deg crossing.
+LOOP_F_START, LOOP_F_STOP = 10.0, 1e8
+
+
+@register("loop_gain")
+def run() -> ExperimentResult:
+    # Closed-loop operating point: the values the broken loop is pinned at.
+    nodes = CellNodes()
+    closed_op = operating_point(build_psrr_cell(vdd_ac=0.0))
+    vref_dc = measure_vref(closed_op)
+    p4_dc = closed_op.voltage(nodes.p4)
+    nb_dc = closed_op.voltage(nodes.nb)
+
+    frequencies = log_frequencies(LOOP_F_START, LOOP_F_STOP, points_per_decade=4)
+    broken = build_loop_gain_cell(p4_dc, nb_dc)
+    result = ac_analysis(broken, frequencies)
+
+    # The VCVS probe carries L(jw) directly (sign already folded in).
+    magnitude_db = result.magnitude_db(LOOP_RETURN_NODE)
+    phase_deg = result.phase_deg(LOOP_RETURN_NODE)
+
+    crossover = result.crossover_frequency(LOOP_RETURN_NODE)
+    phase_margin = result.phase_margin(LOOP_RETURN_NODE, sign=+1.0)
+    gain_margin = result.gain_margin(LOOP_RETURN_NODE, sign=+1.0)
+    vref_broken_dc = result.op.voltage(nodes.vref)
+
+    rows = [
+        (
+            float(f"{frequency:.6g}"),
+            round(float(magnitude_db[i]), 2),
+            round(float(phase_deg[i]), 1),
+        )
+        for i, frequency in enumerate(frequencies)
+    ]
+
+    checks = {
+        "dc_loop_gain_exceeds_40db": bool(magnitude_db[0] > 40.0),
+        "loop_magnitude_monotonically_decreasing": bool(
+            np.all(np.diff(magnitude_db) < 0.0)
+        ),
+        "low_frequency_phase_near_zero": bool(abs(float(phase_deg[0])) < 10.0),
+        "unity_crossover_inside_the_sweep": crossover is not None,
+        "phase_margin_healthy": phase_margin is not None
+        and 30.0 < phase_margin < 90.0,
+        "gain_margin_positive": gain_margin is not None and gain_margin > 6.0,
+        "broken_loop_sits_at_the_closed_loop_operating_point": bool(
+            abs(vref_broken_dc - vref_dc) < 1e-6
+        ),
+    }
+    notes = (
+        f"DC loop gain {float(magnitude_db[0]):.1f} dB; unity crossover "
+        f"{0.0 if crossover is None else crossover / 1e3:.1f} kHz; phase "
+        f"margin {float('nan') if phase_margin is None else phase_margin:.1f} "
+        f"deg; gain margin "
+        f"{float('nan') if gain_margin is None else gain_margin:.1f} dB.  "
+        f"The broken loop's reference settles at {vref_broken_dc:.9f} V "
+        f"against the closed loop's {vref_dc:.9f} V — the input-pinned "
+        "break reproduces the operating point to solver tolerance, so "
+        "the linearisation is the closed loop's own."
+    )
+    return ExperimentResult(
+        experiment_id="loop_gain",
+        title="Loop gain and stability margins of the bandgap feedback loop",
+        columns=["f [Hz]", "|L| [dB]", "arg L [deg]"],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )

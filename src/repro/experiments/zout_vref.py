@@ -1,0 +1,93 @@
+"""Output impedance of the reference node vs frequency.
+
+A unit AC current pushed into ``vref`` makes the node phasor the output
+impedance in ohms.  The shape is the textbook closed-loop signature:
+
+* at DC the feedback divides the open-loop drive impedance by
+  ``1 + T0`` — a few ohms instead of kilo-ohms;
+* as the loop gain falls past its bandwidth the impedance rises
+  (the inductive-looking region every regulated output has);
+* at the top of the band the load capacitor takes over and the
+  impedance falls as ``1/(w C)``.
+
+Anchor check: the w -> 0 value must match the DC slope
+``dVREF/dI_load`` computed by finite differences on two plain DC
+solves, the same engine-agreement criterion the PSRR experiment uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spice.ac import ac_analysis, log_frequencies
+from ..spice.analysis import dc_sweep
+from ..circuits.bandgap_cell import measure_vref
+from .ac_common import C_LOAD, build_zout_cell
+from .registry import ExperimentResult, register
+
+#: Swept band [Hz].
+ZOUT_F_START, ZOUT_F_STOP = 10.0, 1e7
+
+
+def dc_output_resistance(delta_i: float = 1e-6) -> float:
+    """``|dVREF/dI|`` by finite differences on DC solves [ohm].
+
+    One :func:`dc_sweep` of the test current source — shared system,
+    warm-started second point — instead of two cold solves.
+    """
+    sweep = dc_sweep(build_zout_cell(), "ITEST", [-delta_i, +delta_i])
+    low, high = (measure_vref(point) for point in sweep.points)
+    return abs(high - low) / (2.0 * delta_i)
+
+
+@register("zout_vref")
+def run() -> ExperimentResult:
+    frequencies = log_frequencies(ZOUT_F_START, ZOUT_F_STOP, points_per_decade=4)
+    result = ac_analysis(build_zout_cell(), frequencies)
+    impedance = np.abs(result.phasor("vref"))
+    phase_deg = result.phase_deg("vref")
+
+    rows = [
+        (
+            float(f"{frequency:.6g}"),
+            round(float(impedance[i]), 3),
+            round(float(phase_deg[i]), 1),
+        )
+        for i, frequency in enumerate(frequencies)
+    ]
+
+    zout_dc_fd = dc_output_resistance()
+    zout_dc_ac = float(impedance[0])
+    peak_index = int(np.argmax(impedance))
+    peak = float(impedance[peak_index])
+    cap_asymptote = 1.0 / (2.0 * np.pi * float(frequencies[-1]) * C_LOAD)
+
+    checks = {
+        "dc_zout_matches_finite_difference_slope_within_0p5db": bool(
+            abs(20.0 * np.log10(zout_dc_ac / zout_dc_fd)) < 0.5
+        ),
+        "feedback_keeps_dc_zout_below_100_ohm": bool(zout_dc_ac < 100.0),
+        "impedance_peaks_inside_the_band": bool(
+            0 < peak_index < len(frequencies) - 1
+        ),
+        "peak_exceeds_dc_by_a_decade": bool(peak > 10.0 * zout_dc_ac),
+        "load_capacitor_takes_over_at_the_top": bool(
+            abs(float(impedance[-1]) - cap_asymptote) < 0.05 * cap_asymptote
+        ),
+    }
+    notes = (
+        f"DC output resistance by finite differences: {zout_dc_fd:.3f} ohm; "
+        f"AC value at {frequencies[0]:.0f} Hz: {zout_dc_ac:.3f} ohm.  Peak "
+        f"{peak:.0f} ohm at {float(frequencies[peak_index]) / 1e3:.0f} kHz "
+        f"(the loop-bandwidth shoulder); at {frequencies[-1]:.0g} Hz the "
+        f"response sits on the 1/(wC) load-capacitor asymptote "
+        f"({cap_asymptote:.1f} ohm)."
+    )
+    return ExperimentResult(
+        experiment_id="zout_vref",
+        title="Output impedance of the reference vs frequency (AC analysis)",
+        columns=["f [Hz]", "|Zout| [ohm]", "arg Zout [deg]"],
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )

@@ -15,6 +15,9 @@ offline, this package implements the needed subset from scratch:
   temperature sweeps;
 * :mod:`repro.spice.transient` — time-domain transient analysis
   (backward Euler / trapezoidal with LTE-driven adaptive timestepping);
+* :mod:`repro.spice.ac` — frequency-domain small-signal analysis
+  (complex MNA ``(G + jwC) x = b`` at a solved operating point, the
+  engine behind the PSRR / loop-gain / output-impedance experiments);
 * :mod:`repro.spice.thermal` — the electro-thermal self-heating loop
   behind the paper's sensor-vs-die temperature discrepancy (Table 1);
 * :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser
@@ -34,8 +37,22 @@ from .elements import (
     VoltageSource,
 )
 from .elements.sources import PWL, Pulse, Sin, Waveform
-from .solver import SolverOptions, solve_dc
-from .analysis import OperatingPoint, SweepResult, dc_sweep, operating_point, temperature_sweep
+from .solver import SolverOptions, solve_dc, solve_dc_system
+from .analysis import (
+    ACResult,
+    OperatingPoint,
+    SweepResult,
+    dc_sweep,
+    operating_point,
+    temperature_sweep,
+)
+from .ac import (
+    ACSweepChain,
+    ACSystem,
+    ac_analysis,
+    ac_solve_batch,
+    log_frequencies,
+)
 from .transient import TransientOptions, TransientResult, transient_analysis
 from .thermal import ThermalSolution, solve_with_self_heating
 from .parser import parse_netlist
@@ -58,11 +75,18 @@ __all__ = [
     "Sin",
     "SolverOptions",
     "solve_dc",
+    "solve_dc_system",
     "OperatingPoint",
     "SweepResult",
     "operating_point",
     "dc_sweep",
     "temperature_sweep",
+    "ACResult",
+    "ACSystem",
+    "ACSweepChain",
+    "ac_analysis",
+    "ac_solve_batch",
+    "log_frequencies",
     "TransientOptions",
     "TransientResult",
     "transient_analysis",

@@ -22,7 +22,13 @@ from ..errors import NetlistError
 from ..parallel import parallel_map
 from .mna import MNASystem
 from .netlist import Circuit
-from .solver import RawSolution, SolverOptions, solve_dc
+from .solver import (
+    NewtonWorkspace,
+    RawSolution,
+    SolverOptions,
+    solve_dc,
+    solve_dc_system,
+)
 
 
 @dataclass
@@ -100,25 +106,44 @@ def dc_sweep(
 ) -> SweepResult:
     """Sweep the DC value of a V/I source, warm-starting each point.
 
-    The source's ``dc`` attribute is restored afterwards.
+    The source's ``dc`` attribute is restored afterwards.  One
+    :class:`MNASystem` (and one Newton workspace) serves every point —
+    the compiled caches are invalidated after each value mutation, but
+    bindings and the previous point's LU factorization carry over.
     """
     element = circuit.element(source_name)
     if not hasattr(element, "dc"):
         raise NetlistError(f"{source_name} is not an independent source")
     original = element.dc
+    system = MNASystem(circuit, temperature_k=temperature_k)
+    workspace = NewtonWorkspace()
     points: List[OperatingPoint] = []
     x_prev: Optional[np.ndarray] = None
     try:
         for value in values:
             element.dc = float(value)
-            point = operating_point(
-                circuit, temperature_k=temperature_k, options=options, x0=x_prev
+            system.invalidate()  # the source value lives in cached b_lin
+            raw = solve_dc_system(
+                system, options=options, x0=x_prev, workspace=workspace
             )
-            points.append(point)
-            x_prev = point.x
+            points.append(_wrap_point(circuit, temperature_k, raw))
+            x_prev = raw.x
     finally:
         element.dc = original
     return SweepResult(parameter=source_name, values=np.asarray(values, float), points=points)
+
+
+def _wrap_point(
+    circuit: Circuit, temperature_k: float, raw: RawSolution
+) -> OperatingPoint:
+    return OperatingPoint(
+        circuit=circuit,
+        temperature_k=float(temperature_k),
+        x=raw.x,
+        iterations=raw.iterations,
+        residual=raw.residual,
+        strategy=raw.strategy,
+    )
 
 
 def temperature_sweep(
@@ -126,15 +151,25 @@ def temperature_sweep(
     temperatures_k: Sequence[float],
     options: Optional[SolverOptions] = None,
 ) -> SweepResult:
-    """Solve the circuit across a temperature list (paper Fig. 8 style)."""
+    """Solve the circuit across a temperature list (paper Fig. 8 style).
+
+    One :class:`MNASystem` is built for the whole sweep and
+    re-temperatured per point (:meth:`MNASystem.set_temperature`), and
+    one Newton workspace follows it — so a warm-started point can
+    converge on the previous temperature's factorization instead of
+    paying a rebuild plus a fresh LU at every point.
+    """
+    if not len(temperatures_k):
+        return SweepResult(parameter="temperature", values=np.asarray([], float), points=[])
+    system = MNASystem(circuit, temperature_k=float(temperatures_k[0]))
+    workspace = NewtonWorkspace()
     points: List[OperatingPoint] = []
     x_prev: Optional[np.ndarray] = None
     for temperature in temperatures_k:
-        point = operating_point(
-            circuit, temperature_k=float(temperature), options=options, x0=x_prev
-        )
-        points.append(point)
-        x_prev = point.x
+        system.set_temperature(float(temperature))
+        raw = solve_dc_system(system, options=options, x0=x_prev, workspace=workspace)
+        points.append(_wrap_point(circuit, temperature, raw))
+        x_prev = raw.x
     return SweepResult(
         parameter="temperature",
         values=np.asarray(temperatures_k, float),
@@ -220,3 +255,142 @@ def solve_batch(
             )
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Frequency-domain results
+# ----------------------------------------------------------------------
+
+def _log_interp_crossing(
+    frequencies_hz: np.ndarray, values: np.ndarray, target: float
+) -> Optional[float]:
+    """Frequency of the first crossing of ``values`` through ``target``.
+
+    Interpolates linearly in (log f, value) between the bracketing grid
+    points — the natural coordinates of a Bode plot, where magnitude in
+    dB and unwrapped phase are both near-straight per decade.  Returns
+    None when the curve never crosses.
+    """
+    shifted = values - target
+    for i in range(len(shifted) - 1):
+        a, b = shifted[i], shifted[i + 1]
+        if a == 0.0:
+            return float(frequencies_hz[i])
+        if a * b < 0.0:
+            fa, fb = float(frequencies_hz[i]), float(frequencies_hz[i + 1])
+            frac = a / (a - b)
+            if fa <= 0.0:
+                # A 0 Hz grid point (the supported DC limit) has no log
+                # coordinate; interpolate that interval linearly.
+                return fa + frac * (fb - fa)
+            return float(10.0 ** (np.log10(fa) + frac * (np.log10(fb) - np.log10(fa))))
+    if shifted[-1] == 0.0:
+        return float(frequencies_hz[-1])
+    return None
+
+
+@dataclass
+class ACResult:
+    """A small-signal frequency sweep: complex phasors per node.
+
+    ``x`` holds one complex solution vector per frequency (shape
+    ``(n_freq, size)``), each the response to the circuit's AC
+    excitation (the ``ac_mag``/``ac_phase_deg`` of its independent
+    sources).  With a single unit-magnitude excitation the node phasors
+    ARE the transfer function to that node, which is how the PSRR /
+    loop-gain / output-impedance experiments read it.
+    """
+
+    circuit: Circuit
+    temperature_k: float
+    frequencies_hz: np.ndarray
+    x: np.ndarray
+    #: The DC operating point the circuit was linearised at.
+    op: OperatingPoint
+
+    def phasor(self, node: str) -> np.ndarray:
+        """Complex response at a named node, one entry per frequency."""
+        index = self.circuit.node_index(node)
+        if index < 0:
+            return np.zeros(len(self.frequencies_hz), dtype=complex)
+        return self.x[:, index]
+
+    def branch_phasor(self, element_name: str) -> np.ndarray:
+        """Complex branch current of a voltage-defined element [A]."""
+        element = self.circuit.element(element_name)
+        if element.branch_count == 0:
+            raise NetlistError(
+                f"{element_name} has no branch current (not voltage-defined)"
+            )
+        return self.x[:, element.branch_index()]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """``20 log10 |H|`` at a node, floored to keep log finite."""
+        magnitude = np.abs(self.phasor(node))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-300))
+
+    def phase_deg(self, node: str, unwrap: bool = True) -> np.ndarray:
+        """Phase at a node [deg]; unwrapped across the sweep by default."""
+        angles = np.angle(self.phasor(node))
+        if unwrap:
+            angles = np.unwrap(angles)
+        return np.degrees(angles)
+
+    def bode(self, node: str):
+        """``(frequencies_hz, magnitude_db, phase_deg)`` for plotting."""
+        return self.frequencies_hz, self.magnitude_db(node), self.phase_deg(node)
+
+    def corner_frequency(self, node: str, drop_db: float = 3.0) -> Optional[float]:
+        """First frequency where |H| falls ``drop_db`` below its value at
+        the sweep's lowest frequency (the classic -3 dB corner); None if
+        the response never drops that far inside the sweep."""
+        magnitude = self.magnitude_db(node)
+        return _log_interp_crossing(
+            self.frequencies_hz, magnitude, float(magnitude[0]) - drop_db
+        )
+
+    def crossover_frequency(self, node: str) -> Optional[float]:
+        """Unity-gain (0 dB) crossover of the node's response, if any."""
+        return _log_interp_crossing(self.frequencies_hz, self.magnitude_db(node), 0.0)
+
+    def _loop_phase_deg(self, node: str, sign: float) -> np.ndarray:
+        angles = np.angle(sign * self.phasor(node))
+        return np.degrees(np.unwrap(angles))
+
+    def phase_margin(self, node: str, sign: float = -1.0) -> Optional[float]:
+        """Phase margin [deg] treating the node's phasor as a loop gain.
+
+        ``sign = -1`` (default) is the negative-feedback convention: the
+        loop-gain experiment measures the *returned* signal, which for a
+        stabilising loop comes back inverted at DC, so the return ratio
+        whose phase starts at 0 deg is minus the measured phasor.  The
+        margin is ``180 + arg L`` at the unity-magnitude crossover;
+        None when the loop never crosses 0 dB inside the sweep.
+        """
+        crossover = self.crossover_frequency(node)
+        if crossover is None or crossover <= 0.0:
+            return None
+        phase = self._loop_phase_deg(node, sign)
+        positive = self.frequencies_hz > 0.0
+        at_crossover = np.interp(
+            np.log10(crossover),
+            np.log10(self.frequencies_hz[positive]),
+            phase[positive],
+        )
+        return float(180.0 + at_crossover)
+
+    def gain_margin(self, node: str, sign: float = -1.0) -> Optional[float]:
+        """Gain margin [dB]: ``-|L|`` in dB where the loop phase crosses
+        -180 deg (same ``sign`` convention as :meth:`phase_margin`);
+        None when the phase never reaches -180 inside the sweep."""
+        phase = self._loop_phase_deg(node, sign)
+        f180 = _log_interp_crossing(self.frequencies_hz, phase, -180.0)
+        if f180 is None or f180 <= 0.0:
+            return None
+        positive = self.frequencies_hz > 0.0
+        magnitude = np.interp(
+            np.log10(f180),
+            np.log10(self.frequencies_hz[positive]),
+            self.magnitude_db(node)[positive],
+        )
+        return float(-magnitude)

@@ -184,6 +184,66 @@ class Stamp:
         self.add_jacobian(b, b, g)
 
 
+class ACStamp:
+    """Small-signal assembly context handed to :meth:`Element.ac_stamp`.
+
+    The AC subsystem solves ``(G + j w C) x = b`` where ``G`` is the DC
+    Jacobian at the operating point (assembled by the existing MNA
+    paths, nothing for elements to do here); this context collects the
+    two frequency-domain pieces the DC assembly cannot provide:
+
+    * ``C`` entries — ``dQ/dV`` capacitances at the operating point,
+      via :meth:`add_capacitance` (global row/col indices, farads; the
+      same index convention as Jacobian stamping, ground ``-1``
+      discarded).  A branch-row entry is in seconds instead (the
+      single-pole op-amp model stamps ``1/w_pole`` there).
+    * ``b`` entries — the complex AC excitation of independent sources,
+      via :meth:`add_rhs`.  The value must be ``-dF/du * u_ac`` for a
+      source value ``u`` (the linearised source term moved to the right
+      hand side), which for the standard stamps means ``+ac`` on a
+      voltage source's branch row and ``-ac``/``+ac`` on a current
+      source's node rows.
+
+    ``x`` is the solved DC operating point; voltage-dependent
+    capacitances (junction ``dQ/dV``) evaluate there via :meth:`v`.
+    """
+
+    __slots__ = ("x", "temperature_k", "capacitance", "rhs")
+
+    def __init__(self, x: np.ndarray, temperature_k: float,
+                 capacitance: np.ndarray, rhs: np.ndarray):
+        self.x = x
+        self.temperature_k = temperature_k
+        self.capacitance = capacitance
+        self.rhs = rhs
+
+    def v(self, index: int) -> float:
+        """Operating-point unknown at ``index``; 0 for ground."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index])
+
+    def add_capacitance(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.capacitance[row, col] += value
+
+    def add_two_terminal_capacitance(self, a: int, b: int, c: float) -> None:
+        """Stamp a capacitance ``c`` between unknowns ``a`` and ``b``
+        (the standard symmetric four-entry pattern)."""
+        self.add_capacitance(a, a, c)
+        self.add_capacitance(a, b, -c)
+        self.add_capacitance(b, a, -c)
+        self.add_capacitance(b, b, c)
+
+    def add_rhs(self, row: int, value: complex) -> None:
+        if row >= 0:
+            self.rhs[row] += value
+
+
+#: Relative step of the finite-difference ``dQ/dV`` fallback.
+_FD_CHARGE_STEP = 1e-6
+
+
 class Element:
     """Base class for all circuit elements.
 
@@ -255,9 +315,54 @@ class Element:
         """
         return (len(self.nodes) + self.branch_count + 1) ** 2
 
+    def capacitance_slots(self) -> int:
+        """Upper bound on C-matrix entries :meth:`ac_stamp` emits.
+
+        Mirrors :meth:`jacobian_slots` for the AC assembler: the sum
+        over elements sizes the COO buffers of the sparse C build above
+        the solver's sparse threshold.  The default covers the
+        two-terminal fallback below; classes with richer capacitance
+        footprints (BJT junctions) or none at all override it.
+        """
+        return 4 if self.is_dynamic else 0
+
     # -- behaviour -----------------------------------------------------
     def stamp(self, stamp: Stamp) -> None:
         raise NotImplementedError
+
+    def ac_stamp(self, stamp: "ACStamp") -> None:
+        """Small-signal contribution: ``dQ/dV`` capacitances + AC sources.
+
+        The default covers any *two-terminal* charge-storage element by
+        central finite differences on :meth:`charge_at` around the
+        operating point, using the repo-wide dynamic-element convention
+        that the charge current ``dQ/dt`` enters the first terminal and
+        leaves the second.  Elements with an analytic ``dQ/dV`` (the
+        linear capacitor, junction capacitances) override this; elements
+        with no charge storage and no AC excitation inherit the no-op
+        branch.
+        """
+        if not self.is_dynamic:
+            return
+        if len(self._node_idx) != 2:
+            raise NotImplementedError(
+                f"{self.name}: the finite-difference ac_stamp fallback only "
+                "covers two-terminal elements; override ac_stamp"
+            )
+        a, b = self._node_idx
+        x = stamp.x
+        for index in (a, b):
+            if index < 0:
+                continue
+            step = _FD_CHARGE_STEP * max(1.0, abs(float(x[index])))
+            probe = x.copy()
+            probe[index] += step
+            q_plus = self.charge_at(probe)
+            probe[index] -= 2.0 * step
+            q_minus = self.charge_at(probe)
+            dq_dv = (q_plus - q_minus) / (2.0 * step)
+            stamp.add_capacitance(a, index, dq_dv)
+            stamp.add_capacitance(b, index, -dq_dv)
 
     def charge_at(self, x: np.ndarray) -> float:
         """Stored charge at the unknown vector ``x`` [C].

@@ -236,6 +236,63 @@ class SpiceBJT(Element):
                 stamp.add_residual(c, leak)
                 stamp.add_residual(sub, -leak)
 
+    # ------------------------------------------------------------------
+    def capacitance_slots(self) -> int:
+        # Two symmetric two-terminal blocks (B-E and B-C junctions).
+        return 8
+
+    @staticmethod
+    def _depletion_capacitance(cj0: float, vj: float, m: float, v: float) -> float:
+        """SPICE depletion law ``cj0 / (1 - v/vj)^m`` with the standard
+        FC = 0.5 linearisation in forward bias (the raw law diverges at
+        ``v = vj``; converged junctions routinely sit past FC*vj)."""
+        fc = 0.5
+        if v < fc * vj:
+            return cj0 / (1.0 - v / vj) ** m
+        # Linear continuation: C(fc*vj) + C'(fc*vj) * (v - fc*vj).
+        edge = cj0 / (1.0 - fc) ** m
+        slope = edge * m / (vj * (1.0 - fc))
+        return edge + slope * (v - fc * vj)
+
+    def junction_capacitances(self, vbe: float, vbc: float, t: float):
+        """Small-signal ``(C_be, C_bc)`` at a junction-convention bias [F].
+
+        ``C_be`` is depletion plus diffusion (``tf * gm`` with the
+        transport transconductance at the operating point); ``C_bc`` is
+        depletion only (reverse transit time is not modelled).
+        """
+        p = self.params
+        c_be = c_bc = 0.0
+        if p.cje > 0.0:
+            c_be += self._depletion_capacitance(p.cje, p.vje, p.mje, vbe)
+        if p.cjc > 0.0:
+            c_bc += self._depletion_capacitance(p.cjc, p.vjc, p.mjc, vbc)
+        if p.tf > 0.0:
+            gm = self.currents_and_derivatives(vbe, vbc, t)[2]
+            c_be += p.tf * abs(gm)
+        return c_be, c_bc
+
+    def ac_stamp(self, stamp) -> None:
+        """Junction ``dQ/dV`` at the operating point.
+
+        Each junction capacitance is a two-terminal capacitor between
+        the (internal) device nodes; the polarity sign cancels out of
+        the symmetric stamp, so NPN and PNP share the pattern.  The
+        substrate leakage's lagged drive dependence is left out, exactly
+        as in the DC Jacobian.
+        """
+        c, b, e = self._node_idx[:3]
+        s = self.sign
+        vbe = s * (stamp.v(b) - stamp.v(e))
+        vbc = s * (stamp.v(b) - stamp.v(c))
+        c_be, c_bc = self.junction_capacitances(
+            vbe, vbc, self.device_temperature(stamp)
+        )
+        if c_be > 0.0:
+            stamp.add_two_terminal_capacitance(b, e, c_be)
+        if c_bc > 0.0:
+            stamp.add_two_terminal_capacitance(b, c, c_bc)
+
     def power(self, stamp: Stamp) -> float:
         """Dissipated power V_CE*I_C + V_BE*I_B at the iterate [W]."""
         if self.substrate is not None:

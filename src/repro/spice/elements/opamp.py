@@ -67,6 +67,7 @@ class OpAmp(Element):
         rail_low: float = 0.0,
         rail_high: float = 5.0,
         supply: Optional[str] = None,
+        pole_hz: Optional[float] = None,
     ):
         nodes = (inp, inn, out) if supply is None else (inp, inn, out, supply)
         super().__init__(name, nodes)
@@ -74,11 +75,17 @@ class OpAmp(Element):
             raise NetlistError(f"opamp {name}: gain must be positive")
         if rail_high <= rail_low:
             raise NetlistError(f"opamp {name}: rail_high must exceed rail_low")
+        if pole_hz is not None and pole_hz <= 0.0:
+            raise NetlistError(f"opamp {name}: pole frequency must be positive")
         self.gain = gain
         self.vos = vos
         self.rail_low = rail_low
         self.rail_high = rail_high
         self.supply = supply
+        #: Open-loop pole of the small-signal model [Hz]; None keeps the
+        #: macro frequency-flat in AC analyses (DC/transient behaviour is
+        #: unaffected either way — the pole exists only in ``ac_stamp``).
+        self.pole_hz = pole_hz
         #: Memo of a callable offset law at the last temperature — the
         #: law is re-evaluated every stamp but only depends on T.
         self._vos_cache = None
@@ -166,3 +173,27 @@ class OpAmp(Element):
         stamp.add_jacobian(k, inn, slope)
         if slope_rail != 0.0:
             stamp.add_jacobian(k, vdd_idx, -slope_rail)
+
+    # -- small-signal --------------------------------------------------
+    def capacitance_slots(self) -> int:
+        return 1 if self.pole_hz is not None else 0
+
+    def ac_stamp(self, stamp) -> None:
+        """Single-pole small-signal model.
+
+        The linearised branch equation at the operating point is
+        ``v_out - slope*vdiff - slope_rail*v_dd = 0`` (that is the DC
+        Jacobian row, already in G).  Multiplying the gain by
+        ``1/(1 + j w / w_pole)`` is algebraically the same as adding
+        ``(j w / w_pole) * v_out`` to the branch residual — a single
+        C-matrix entry of ``1 / (2 pi pole_hz)`` (seconds, since the
+        branch row is in volts) at ``(row, out)``.  The supply-ripple
+        path through ``slope_rail`` sees the same roll-off, as it
+        should for an output-referred pole.
+        """
+        if self.pole_hz is None:
+            return
+        out = self._node_idx[2]
+        stamp.add_capacitance(
+            self.branch_index(), out, 1.0 / (2.0 * math.pi * self.pole_hz)
+        )

@@ -102,6 +102,14 @@ class Capacitor(Element):
     def charge_scale(self) -> float:
         return self.capacitance
 
+    def capacitance_slots(self) -> int:
+        return 4
+
+    def ac_stamp(self, stamp) -> None:
+        """Analytic ``dQ/dV``: the value itself, voltage-independent."""
+        a, b = self._node_idx
+        stamp.add_two_terminal_capacitance(a, b, self.capacitance)
+
     def stamp(self, stamp: Stamp) -> None:
         ctx = stamp.transient
         if ctx is None:

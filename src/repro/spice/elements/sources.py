@@ -215,19 +215,64 @@ def _evaluate(
     return float(value)
 
 
-class VoltageSource(Element):
+class _IndependentSource(Element):
+    """Shared value plumbing of the two independent source types.
+
+    The large-signal ``dc`` value (float, temperature law, or waveform)
+    and the small-signal AC excitation (``ac_mag``/``ac_phase_deg``, the
+    SPICE ``AC mag phase`` pair) are kept as two cleanly separate
+    channels: DC and transient analyses read :meth:`dc_value`, the AC
+    subsystem reads :meth:`ac_value`, and nothing outside this module
+    needs to inspect what kind of object ``dc`` is (:attr:`waveform`
+    exposes the time-varying case for the transient engine's breakpoint
+    collection).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        npos: str,
+        nneg: str,
+        dc: SourceValue,
+        ac_mag: float = 0.0,
+        ac_phase_deg: float = 0.0,
+    ):
+        super().__init__(name, (npos, nneg))
+        self.dc = dc
+        if ac_mag < 0.0:
+            raise NetlistError(f"source {name}: AC magnitude must be non-negative")
+        self.ac_mag = float(ac_mag)
+        self.ac_phase_deg = float(ac_phase_deg)
+
+    @property
+    def waveform(self) -> Optional[Waveform]:
+        """The time-varying value, or None for a constant/temperature-law
+        source — the clean accessor for engines that need to know about
+        breakpoints without poking at ``dc`` themselves."""
+        return self.dc if isinstance(self.dc, Waveform) else None
+
+    def dc_value(self, temperature_k: float, time: Optional[float] = None) -> float:
+        """Large-signal value: DC (``time=None`` = waveform t=0) or the
+        instantaneous transient value [V or A]."""
+        return _evaluate(self.dc, temperature_k, time)
+
+    #: Backwards-compatible alias of :meth:`dc_value`.
+    value_at = dc_value
+
+    def ac_value(self) -> complex:
+        """Small-signal excitation phasor ``mag * exp(j*phase)``."""
+        if self.ac_mag == 0.0:
+            return 0.0 + 0.0j
+        phase = math.radians(self.ac_phase_deg)
+        return self.ac_mag * complex(math.cos(phase), math.sin(phase))
+
+
+class VoltageSource(_IndependentSource):
     """Independent voltage source with one branch-current unknown."""
 
     branch_count = 1
     #: The source value varies with time/temperature but never with x.
     is_linear = True
-
-    def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
-        super().__init__(name, (npos, nneg))
-        self.dc = dc
-
-    def value_at(self, temperature_k: float, time: Optional[float] = None) -> float:
-        return _evaluate(self.dc, temperature_k, time)
 
     def stamp(self, stamp: Stamp) -> None:
         a, b = self._node_idx
@@ -247,6 +292,16 @@ class VoltageSource(Element):
         stamp.add_jacobian(k, a, 1.0)
         stamp.add_jacobian(k, b, -1.0)
 
+    def ac_stamp(self, stamp) -> None:
+        """AC excitation on the branch row: ``v(a) - v(b) = ac_value``.
+
+        The branch residual is ``v(a) - v(b) - target``, so the
+        right-hand side of the linearised system gains ``+ac``.
+        """
+        ac = self.ac_value()
+        if ac != 0.0:
+            stamp.add_rhs(self.branch_index(), ac)
+
     def power(self, stamp: Stamp) -> float:
         """Power *delivered* by the source [W] (positive when sourcing)."""
         a, b = self._node_idx
@@ -254,18 +309,21 @@ class VoltageSource(Element):
         return -(stamp.v(a) - stamp.v(b)) * i
 
 
-class CurrentSource(Element):
+class CurrentSource(_IndependentSource):
     """Independent current source (no extra unknowns)."""
 
     #: The source value varies with time/temperature but never with x.
     is_linear = True
 
-    def __init__(self, name: str, npos: str, nneg: str, dc: SourceValue):
-        super().__init__(name, (npos, nneg))
-        self.dc = dc
-
-    def value_at(self, temperature_k: float, time: Optional[float] = None) -> float:
-        return _evaluate(self.dc, temperature_k, time)
+    def ac_stamp(self, stamp) -> None:
+        """AC excitation on the node rows, same orientation as DC: the
+        AC current flows through the source from ``npos`` to ``nneg``,
+        i.e. it is delivered into ``nneg``'s node."""
+        ac = self.ac_value()
+        if ac != 0.0:
+            a, b = self._node_idx
+            stamp.add_rhs(a, -ac)
+            stamp.add_rhs(b, ac)
 
     def stamp(self, stamp: Stamp) -> None:
         value = (

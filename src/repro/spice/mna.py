@@ -313,6 +313,22 @@ class MNASystem:
         """True when the compiled fast path is active."""
         return self._assembler is not None
 
+    def set_temperature(self, temperature_k: float) -> None:
+        """Re-temperature the system in place, keeping the topology.
+
+        Sweeps call this instead of rebuilding an :class:`MNASystem` per
+        point: bindings, slot reservations and the Newton workspace all
+        survive, so LU reuse and the compiled caches span sweep points.
+        The linear caches are dropped (resistor tempcos and
+        temperature-law sources make ``G_lin``/``b_lin``
+        temperature-dependent); element-level memos key on temperature
+        themselves and need no help.
+        """
+        if temperature_k == self.temperature_k:
+            return
+        self.temperature_k = temperature_k
+        self.invalidate()
+
     def invalidate(self) -> None:
         """Invalidate cached linear stamps after mutating element values.
 

@@ -426,10 +426,41 @@ def solve_dc(
     simulation time (capacitors stay open — this is still a DC solve);
     the transient engine uses it to compute the pre-ramp initial point
     and the post-ramp reference operating point.
+
+    Builds a fresh :class:`MNASystem` per call, which makes mutating
+    element values between calls safe; sweeps that solve one topology
+    many times should build the system once and go through
+    :func:`solve_dc_system` instead.
     """
+    return solve_dc_system(
+        MNASystem(circuit, temperature_k=temperature_k),
+        options=options,
+        x0=x0,
+        time=time,
+    )
+
+
+def solve_dc_system(
+    system: MNASystem,
+    options: Optional[SolverOptions] = None,
+    x0: Optional[np.ndarray] = None,
+    time: Optional[float] = None,
+    workspace: Optional[NewtonWorkspace] = None,
+) -> RawSolution:
+    """:func:`solve_dc` against a caller-owned :class:`MNASystem`.
+
+    The sweep-point entry: the caller keeps one system per topology
+    (re-temperaturing it with :meth:`MNASystem.set_temperature`) and one
+    :class:`NewtonWorkspace`, so the compiled linear caches and the LU
+    factorization survive from one sweep point to the next — a
+    warm-started neighbouring point routinely converges entirely on the
+    previous point's factorization.  Callers that mutate *linear*
+    element values between solves must call :meth:`MNASystem.invalidate`
+    themselves.
+    """
+    circuit = system.circuit
     options = options or SolverOptions()
-    system = MNASystem(circuit, temperature_k=temperature_k)
-    workspace = NewtonWorkspace()
+    workspace = workspace if workspace is not None else NewtonWorkspace()
     start = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float).copy()
     if start.shape != (system.size,):
         raise ConvergenceError(
@@ -484,7 +515,7 @@ def solve_dc(
         if stage is None:
             raise ConvergenceError(
                 f"DC solve failed (source stepping stalled at {scale:.0%}) "
-                f"for circuit {circuit.title!r} at {temperature_k:.2f} K"
+                f"for circuit {circuit.title!r} at {system.temperature_k:.2f} K"
             )
         x = stage.x
     stage.strategy = "source-stepping"

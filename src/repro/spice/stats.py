@@ -38,6 +38,13 @@ class SolverStats:
     #: Factorizations routed to scipy.sparse ``splu`` (above the size
     #: threshold) rather than dense LAPACK LU.
     sparse_factorizations: int = 0
+    #: Complex linear solves of the AC subsystem (one per frequency).
+    ac_solves: int = 0
+    #: Complex ``G + jwC`` factorizations taken by the AC subsystem.
+    ac_factorizations: int = 0
+    #: AC solves served by a reused factorization (purely resistive
+    #: sweeps factor once for the whole frequency grid).
+    ac_factor_reuses: int = 0
     #: Successful DC strategies, keyed by ``RawSolution.strategy``.
     strategies: Dict[str, int] = field(default_factory=dict)
 
@@ -53,6 +60,9 @@ class SolverStats:
         self.compiled_assemblies = 0
         self.reference_assemblies = 0
         self.sparse_factorizations = 0
+        self.ac_solves = 0
+        self.ac_factorizations = 0
+        self.ac_factor_reuses = 0
         self.strategies = {}
 
     def as_dict(self) -> Dict[str, object]:
@@ -66,6 +76,9 @@ class SolverStats:
             "compiled_assemblies": self.compiled_assemblies,
             "reference_assemblies": self.reference_assemblies,
             "sparse_factorizations": self.sparse_factorizations,
+            "ac_solves": self.ac_solves,
+            "ac_factorizations": self.ac_factorizations,
+            "ac_factor_reuses": self.ac_factor_reuses,
             "strategies": dict(self.strategies),
         }
 

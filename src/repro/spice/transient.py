@@ -40,7 +40,6 @@ import numpy as np
 from ..errors import ConvergenceError, NetlistError
 from .analysis import OperatingPoint
 from .elements.base import DynamicState, TransientContext
-from .elements.sources import Waveform
 from .mna import MNASystem
 from .netlist import Circuit
 from .solver import NewtonWorkspace, SolverOptions, _newton, solve_dc
@@ -215,11 +214,8 @@ def _resolve_steps(options: TransientOptions, span: float):
 
 def _source_waveforms(circuit: Circuit):
     """All waveform-valued independent-source values in the circuit."""
-    return [
-        el.dc
-        for el in circuit.elements
-        if isinstance(getattr(el, "dc", None), Waveform)
-    ]
+    waves = (getattr(el, "waveform", None) for el in circuit.elements)
+    return [wave for wave in waves if wave is not None]
 
 
 def _collect_breakpoints(

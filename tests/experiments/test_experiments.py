@@ -35,6 +35,10 @@ class TestRegistry:
         assert "sub1v_extension" in EXPERIMENTS
         assert "startup_transient" in EXPERIMENTS
 
+    def test_ac_family_registered(self):
+        for name in ("psrr_vref", "loop_gain", "zout_vref"):
+            assert name in EXPERIMENTS
+
     def test_unknown_experiment_raises(self):
         with pytest.raises(ReproError):
             run_experiment("fig99")
@@ -55,6 +59,9 @@ class TestShapeChecks:
             "ablation_solver",
             "sub1v_extension",
             "startup_transient",
+            "psrr_vref",
+            "loop_gain",
+            "zout_vref",
         ],
     )
     def test_experiment_passes(self, all_results, name):

@@ -94,3 +94,65 @@ class TestSelfHeating:
         assert solution.power_w == pytest.approx(1e-3, rel=1e-6)
         # The loop settles within its tol_k (1e-4 K) of the fixed point.
         assert solution.self_heating_k == pytest.approx(0.1, abs=2e-4)
+
+
+class TestSweepSystemReuse:
+    """Sweeps keep ONE re-temperatured MNASystem + Newton workspace."""
+
+    def bandgap_like(self):
+        # Temperature-dependent linear elements (resistor tempco) plus a
+        # nonlinear junction: both cache classes must re-temperature.
+        c = Circuit()
+        c.add(VoltageSource("V1", "in", "0", 3.0))
+        c.add(Resistor("R1", "in", "d", 2e3, tc1=1.5e-3))
+        c.add(Diode("D1", "d", "0"))
+        return c
+
+    def test_sweep_matches_per_point_solves(self):
+        temps = [250.0, 280.0, 310.0, 340.0]
+        swept = temperature_sweep(self.bandgap_like(), temps)
+        for temperature, point in zip(temps, swept.points):
+            fresh = operating_point(self.bandgap_like(), temperature_k=temperature)
+            np.testing.assert_allclose(point.x, fresh.x, rtol=1e-9, atol=1e-12)
+
+    def test_set_temperature_invalidates_linear_caches(self):
+        from repro.spice.mna import MNASystem
+        from repro.spice.solver import solve_dc_system
+
+        circuit = self.bandgap_like()
+        system = MNASystem(circuit, temperature_k=300.0)
+        first = solve_dc_system(system)
+        system.set_temperature(350.0)
+        warm = solve_dc_system(system, x0=first.x)
+        fresh = operating_point(self.bandgap_like(), temperature_k=350.0)
+        np.testing.assert_allclose(warm.x, fresh.x, rtol=1e-9, atol=1e-12)
+        # The resistor tempco must actually have moved the solution.
+        assert abs(warm.x[circuit.node_index("d")] - first.x[circuit.node_index("d")]) > 1e-3
+
+    def test_sweep_reuses_factorizations_across_points(self):
+        from repro.spice.stats import STATS
+
+        temps = list(np.linspace(250.0, 350.0, 11))
+        STATS.reset()
+        temperature_sweep(self.bandgap_like(), temps)
+        swept_factorizations = STATS.factorizations
+        swept_reuses = STATS.lu_reuses
+        STATS.reset()
+        for temperature in temps:
+            operating_point(self.bandgap_like(), temperature_k=temperature)
+        per_point_factorizations = STATS.factorizations
+        # The shared workspace lets warm-started neighbouring points ride
+        # the previous point's LU; per-point solves cannot.
+        assert swept_factorizations < per_point_factorizations
+        assert swept_reuses > 0
+
+    def test_dc_sweep_invalidates_value_mutation(self):
+        # Same values as fresh solves: the invalidate() after each dc
+        # mutation keeps the cached b_lin honest.
+        values = [1.0, 2.0, 4.0]
+        swept = dc_sweep(diode_circuit(), "V1", values)
+        for value, point in zip(values, swept.points):
+            c = diode_circuit()
+            c.element("V1").dc = value
+            fresh = operating_point(c)
+            np.testing.assert_allclose(point.x, fresh.x, rtol=1e-9, atol=1e-12)
