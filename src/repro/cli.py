@@ -7,7 +7,8 @@ also writes each regenerated table as ``DIR/<experiment>.csv``.
 
 ``--bench`` times each named experiment and prints its wall time plus
 the solver-statistics snapshot (Newton iterations, factorizations, LU
-reuses, assembly-path counters, AC solve/factorization-reuse counters,
+reuses, assembly-path counters, vectorized device-group counters,
+sparse-assembly counts, AC solve/factorization-reuse counters,
 DC strategies) both human-readably and
 as a machine-scrapable ``BENCH {json}`` line, so perf trajectories can
 be collected from plain CI logs.  ``--workers N`` fans independent work
@@ -137,6 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"residual_evals={row['residual_evaluations']}  "
             f"assemblies={row['compiled_assemblies']}c/"
             f"{row['reference_assemblies']}r  "
+            f"groups={row['group_evals']}ev/"
+            f"{row['grouped_device_evals']}dev  "
             f"ac={row['ac_solves']}s/{row['ac_factorizations']}f/"
             f"{row['ac_factor_reuses']}r  "
             f"strategies: {strategies or '-'}"

@@ -62,6 +62,7 @@ try:  # scipy is an optional accelerator, not a hard dependency
     from scipy.linalg import get_lapack_funcs
     from scipy.sparse import coo_matrix as _coo_matrix
     from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse import issparse as _sp_issparse
     from scipy.sparse.linalg import splu as _splu
 
     _zgetrf, _zgetrs = get_lapack_funcs(
@@ -70,6 +71,9 @@ try:  # scipy is an optional accelerator, not a hard dependency
     _HAVE_SCIPY = True
 except ImportError:  # pragma: no cover - exercised only without scipy
     _HAVE_SCIPY = False
+
+    def _sp_issparse(matrix) -> bool:
+        return False
 
 
 def log_frequencies(
@@ -117,6 +121,21 @@ class _COOACStamp(ACStamp):
             self.cols[n] = col
             self.vals[n] = value
             self.n_entries = n + 1
+
+    def add_capacitance_block(self, rows, cols, vals) -> None:
+        """Bulk append of pre-masked COO triplets (the grouped path)."""
+        count = len(vals)
+        if count == 0:
+            return
+        n = self.n_entries
+        while n + count > len(self.rows):
+            self.rows = np.concatenate([self.rows, np.zeros_like(self.rows)])
+            self.cols = np.concatenate([self.cols, np.zeros_like(self.cols)])
+            self.vals = np.concatenate([self.vals, np.zeros_like(self.vals)])
+        self.rows[n : n + count] = rows
+        self.cols[n : n + count] = cols
+        self.vals[n : n + count] = vals
+        self.n_entries = n + count
 
 
 class _ACFactorization:
@@ -178,14 +197,34 @@ class ACSystem:
             )
         self.op = op
         size = system.size
-        self._sparse = _HAVE_SCIPY and size >= options.sparse_threshold
         self.G, _ = system.assemble(self.x_op, gmin=options.gmin)
+        self._sparse = _HAVE_SCIPY and (
+            size >= options.sparse_threshold or _sp_issparse(self.G)
+        )
 
         elements = self.circuit.elements
         capacity = sum(el.capacitance_slots() for el in elements)
         rhs = np.zeros(size, dtype=complex)
         stamp = _COOACStamp(self.x_op, self.temperature_k, rhs, capacity)
+        # Grouped fast path: vectorized devices assemble their junction
+        # dQ/dV in one pass per group; everything else (and every
+        # element when REPRO_VECTORIZED=0 or REPRO_COMPILED=0) stamps
+        # scalar, so the two paths stay comparable term for term.
+        grouped_ids = set()
+        assembler = getattr(system, "_assembler", None)
+        if assembler is not None and assembler.groups:
+            x_ext = np.append(self.x_op, 0.0)
+            for group in assembler.groups:
+                rows, cols, vals = group.ac_capacitance(
+                    x_ext, self.temperature_k
+                )
+                stamp.add_capacitance_block(rows, cols, vals)
+                grouped_ids.update(id(el) for el in group.devices)
+                STATS.group_evals += 1
+                STATS.grouped_device_evals += group.n
         for element in elements:
+            if id(element) in grouped_ids:
+                continue
             element.ac_stamp(stamp)
         self.b = rhs
         n = stamp.n_entries

@@ -38,6 +38,14 @@ def limited_exp(arg: float) -> Tuple[float, float]:
     boundary; this keeps junction stamps finite for the wild intermediate
     iterates Newton can produce, without affecting converged solutions
     (see the cap's comment for why it must clear every physical bias).
+
+    Overflow audit: ``math.exp`` is only ever evaluated at or below the
+    cap (``exp(120) ~ 1.3e52``), so this scalar path can neither raise
+    ``OverflowError`` nor produce ``inf``.  The vectorized twin
+    (``repro.spice.groups._limited_exp_array``) upholds the same
+    invariant by clamping the argument *before* ``np.exp`` — the test
+    suite promotes warnings to errors to keep both paths silent on
+    arbitrarily extreme trial points.
     """
     if arg <= _MAX_EXP_ARG:
         value = math.exp(arg)
@@ -277,6 +285,19 @@ class Element:
     #: iteration.  The default is ``False`` (always correct, never
     #: cached); element classes opt in explicitly.
     is_linear: bool = False
+
+    @property
+    def groupable(self) -> bool:
+        """Contract for the vectorized device-group engine
+        (:mod:`repro.spice.groups`): True when *this instance's* stamp
+        is exactly reproduced by its class's packed group evaluator.
+        The default is ``False`` (scalar stamp, always correct); device
+        classes with a group evaluator opt in, and may refuse per
+        instance (a BJT with an attached substrate transistor stays
+        scalar).  Subclasses that override :meth:`stamp` are never
+        grouped regardless — the partition checks the exact class.
+        """
+        return False
 
     def __init__(self, name: str, nodes: Sequence[str]):
         self.name = name

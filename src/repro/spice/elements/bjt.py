@@ -32,9 +32,25 @@ from .passives import Resistor
 
 
 class SpiceBJT(Element):
-    """Three-terminal Gummel-Poon transistor (collector, base, emitter)."""
+    """Three-terminal Gummel-Poon transistor (collector, base, emitter).
+
+    Overflow audit (the vectorized group evaluator must replicate this
+    stamp warning-free at arbitrary trial points): every exponential in
+    the junction math goes through :func:`limited_exp` — never evaluated
+    past the cap — the base-charge denominator is clamped at 0.05, the
+    knee ``sqrt`` argument at 0, and the depletion law is linearised
+    past FC*VJ, so no operand of this model can overflow or go NaN for
+    any finite iterate.
+    """
 
     is_nonlinear = True
+
+    @property
+    def groupable(self) -> bool:
+        """Grouped by :class:`repro.spice.groups.BJTGroup` unless a
+        substrate transistor is attached (its saturation-drive law reads
+        the iterate in a way the packed arrays do not model)."""
+        return self.substrate is None
 
     def jacobian_slots(self) -> int:
         # The 3x3 terminal block (gmin junction terms folded in).

@@ -25,6 +25,12 @@ class Diode(Element):
 
     is_nonlinear = True
 
+    @property
+    def groupable(self) -> bool:
+        """Grouped by :class:`repro.spice.groups.DiodeGroup` (the
+        exponential is overflow-clamped identically on both paths)."""
+        return True
+
     def jacobian_slots(self) -> int:
         # The 2x2 conductance block (gmin folded into g).
         return 4

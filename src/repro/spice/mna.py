@@ -21,13 +21,35 @@ Two assembly paths produce bit-compatible ``(J, F)``:
   sources, capacitor companions — from the hot loop, which profiles
   show dominates every sweep and transient in the repo.
 
+Two further layers ride on the compiled path:
+
+* **vectorized device groups** (:mod:`repro.spice.groups`, the default;
+  ``REPRO_VECTORIZED=0`` disables): homogeneous nonlinear devices (all
+  plain BJTs, all diodes) are packed into contiguous parameter/index
+  arrays at build time and each Newton evaluation computes a whole
+  group's currents and conductances in one NumPy pass, removing the
+  remaining per-element Python dispatch from the hot loop.  Grouping is
+  *size-adaptive*: below ``REPRO_GROUP_MIN`` devices of a class (default
+  12, the measured NumPy-dispatch crossover) the scalar loop is faster
+  and is kept.  Elements that do not group (op-amp macros,
+  substrate-attached BJTs, custom classes) keep their scalar stamp, and
+  the scalar path is always available as the equivalence reference;
+* a **sparse assembly mode**: at or above the solver's splu threshold
+  (``REPRO_SPARSE_THRESHOLD``, default 200 unknowns) ``G_lin`` is built
+  as ``scipy.sparse`` and each assembly returns a sparse Jacobian
+  (linear part plus the nonlinear COO scatter), so large netlists never
+  materialise a dense ``N x N`` matrix anywhere in the solve.
+
 Cache correctness: the linear part depends only on (temperature — fixed
 per system, ``gmin``, ``source_scale``, ``time``, and the integration
 context's alpha/state), all of which key the cache.  Mutating element
-*values* (resistance, source dc, gains of linear controlled sources) on
-a live system is not tracked — call :meth:`MNASystem.invalidate` after
-doing so, or build a fresh system (``solve_dc`` already builds one per
-call, which is why ``dc_sweep``-style value mutation is safe).
+*values* (resistance, source dc, gains of linear controlled sources,
+the model parameters of a *grouped* nonlinear device) or
+``temperature_override`` on a live system is not tracked — call
+:meth:`MNASystem.invalidate` after doing so (it rebuilds the linear
+caches and re-packs the device groups), or build a fresh system
+(``solve_dc`` already builds one per call, which is why
+``dc_sweep``-style value mutation is safe).
 
 A ``gmin`` conductance from every node to ground is always present (it
 bounds the matrix condition number and is the knob the solver's gmin
@@ -44,14 +66,43 @@ import numpy as np
 
 from ..errors import NetlistError
 from .elements.base import DynamicState, Stamp, TransientContext
+from .groups import build_groups
 from .netlist import Circuit
 from .stats import STATS
+
+try:  # scipy is an optional accelerator, not a hard dependency
+    from scipy.sparse import coo_matrix as _coo_matrix
+    from scipy.sparse import issparse as _issparse
+
+    _HAVE_SPARSE = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SPARSE = False
+
+    def _issparse(matrix) -> bool:
+        return False
 
 
 def _compiled_default() -> bool:
     """Compiled assembly is the default; REPRO_COMPILED=0 disables it
     process-wide (the A/B knob the benchmarks use)."""
     return os.environ.get("REPRO_COMPILED", "1") not in ("0", "false", "no")
+
+
+def _vectorized_default() -> bool:
+    """Vectorized device groups are the default; REPRO_VECTORIZED=0
+    routes every nonlinear element through its scalar stamp (the
+    reference evaluator the equivalence harness measures against)."""
+    return os.environ.get("REPRO_VECTORIZED", "1") not in ("0", "false", "no")
+
+
+def _sparse_threshold() -> int:
+    """Unknown count at which assembly goes ``scipy.sparse`` (matching
+    the solver's default splu switch; REPRO_SPARSE_THRESHOLD tunes both
+    sides of the hand-off for experiments)."""
+    try:
+        return int(os.environ.get("REPRO_SPARSE_THRESHOLD", "200"))
+    except ValueError:
+        return 200
 
 
 class _ResidualOnlyStamp(Stamp):
@@ -92,6 +143,36 @@ class _COOStamp(Stamp):
             self.n_entries = n + 1
 
 
+class _TripletStamp(Stamp):
+    """Stamp collecting Jacobian entries as plain-list COO triplets.
+
+    Used by the sparse assembly mode's *configuration-time* passes over
+    the linear groups (run once per cached configuration, so list
+    appends are fine); the triplets become a ``scipy.sparse`` matrix.
+    """
+
+    __slots__ = ("trip_rows", "trip_cols", "trip_vals")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trip_rows: list = []
+        self.trip_cols: list = []
+        self.trip_vals: list = []
+
+    def add_jacobian(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.trip_rows.append(row)
+            self.trip_cols.append(col)
+            self.trip_vals.append(value)
+
+    def matrix(self, size: int):
+        """The collected triplets as CSR (duplicates summed)."""
+        return _coo_matrix(
+            (self.trip_vals, (self.trip_rows, self.trip_cols)),
+            shape=(size, size),
+        ).tocsr()
+
+
 class CompiledAssembler:
     """Partitioned fast assembly for one :class:`MNASystem`.
 
@@ -109,9 +190,21 @@ class CompiledAssembler:
     ``b_dynamic``
         Companion-model residual offsets (``-alpha*q_prev - beta*i_prev``
         terms); keyed by the integration context's ``serial``.
+
+    Nonlinear elements split again: homogeneous devices go through the
+    vectorized groups of :mod:`repro.spice.groups` (one NumPy pass per
+    group per iteration), the rest stay on their scalar ``stamp``.  In
+    sparse mode (``size >= REPRO_SPARSE_THRESHOLD`` with scipy present)
+    every linear cache is a ``scipy.sparse`` matrix and :meth:`assemble`
+    returns a sparse Jacobian, so nothing ever densifies.
     """
 
-    def __init__(self, system: "MNASystem"):
+    def __init__(
+        self,
+        system: "MNASystem",
+        vectorized: Optional[bool] = None,
+        sparse: Optional[bool] = None,
+    ):
         self.system = system
         elements = system.circuit.elements
         self.linear_static = [
@@ -119,10 +212,27 @@ class CompiledAssembler:
         ]
         self.linear_dynamic = [el for el in elements if el.is_linear and el.is_dynamic]
         self.nonlinear = [el for el in elements if not el.is_linear]
-        capacity = max(sum(el.jacobian_slots() for el in self.nonlinear), 1)
+        # vectorized: None = env default with the adaptive size
+        # threshold; True = force grouping regardless of size (the
+        # equivalence tests and device benchmarks); False = scalar only.
+        min_size = None
+        if vectorized is None:
+            vectorized = _vectorized_default()
+        elif vectorized:
+            min_size = 1
+        self.vectorized = bool(vectorized)
+        self._group_min = min_size
+        self._build_groups()
+        if sparse is None:
+            sparse = _HAVE_SPARSE and system.size >= _sparse_threshold()
+        self.sparse = bool(sparse) and _HAVE_SPARSE
+        capacity = max(sum(el.jacobian_slots() for el in self.scalar_nonlinear), 1)
         self._rows = np.zeros(capacity, dtype=np.intp)
         self._cols = np.zeros(capacity, dtype=np.intp)
         self._vals = np.zeros(capacity, dtype=float)
+        #: Extended-iterate buffer [x, 0.0] the groups gather from (the
+        #: trailing zero is the ground slot).
+        self._x_ext = np.zeros(system.size + 1)
         self._g_static: Optional[np.ndarray] = None
         self._g_static_key: Optional[float] = None
         self._b_static: Optional[np.ndarray] = None
@@ -134,6 +244,22 @@ class CompiledAssembler:
         self._b_dyn_key: Optional[int] = None
         self._b_comb: Optional[np.ndarray] = None
         self._b_comb_key: Optional[Tuple] = None
+
+    def _build_groups(self) -> None:
+        """(Re)pack the vectorized device groups from the live elements.
+
+        Called at build time and again from :meth:`invalidate`: the
+        packed parameter arrays are snapshots, so mutating a grouped
+        device's model values (or ``temperature_override``) on a live
+        system follows the same invalidate contract as mutating a
+        linear element's value.
+        """
+        if self.vectorized:
+            self.groups, self.scalar_nonlinear = build_groups(
+                self.nonlinear, self.system.size, min_size=self._group_min
+            )
+        else:
+            self.groups, self.scalar_nonlinear = [], list(self.nonlinear)
 
     # -- linear-group passes -------------------------------------------
     def _base_stamp(self, cls, x, jacobian, residual, gmin, source_scale,
@@ -153,17 +279,28 @@ class CompiledAssembler:
                      time: Optional[float]) -> None:
         """Full (J, F) stamp of the static linear group at ``x = 0``."""
         size = self.system.size
-        jacobian = np.zeros((size, size))
         residual = np.zeros(size)
-        stamp = self._base_stamp(
-            Stamp, np.zeros(size), jacobian, residual, gmin, source_scale,
-            time, None,
-        )
-        for node in range(self.system.n_nodes):
-            jacobian[node, node] += gmin
-        for el in self.linear_static:
-            el.stamp(stamp)
-        self._g_static = jacobian
+        if self.sparse:
+            stamp = self._base_stamp(
+                _TripletStamp, np.zeros(size), None, residual, gmin,
+                source_scale, time, None,
+            )
+            for node in range(self.system.n_nodes):
+                stamp.add_jacobian(node, node, gmin)
+            for el in self.linear_static:
+                el.stamp(stamp)
+            self._g_static = stamp.matrix(size)
+        else:
+            jacobian = np.zeros((size, size))
+            stamp = self._base_stamp(
+                Stamp, np.zeros(size), jacobian, residual, gmin,
+                source_scale, time, None,
+            )
+            for node in range(self.system.n_nodes):
+                jacobian[node, node] += gmin
+            for el in self.linear_static:
+                el.stamp(stamp)
+            self._g_static = jacobian
         self._g_static_key = gmin
         self._b_static = residual
         self._b_static_key = (source_scale, time)
@@ -190,16 +327,25 @@ class CompiledAssembler:
         """Jacobian of the dynamic linear group at alpha=1 (computed once)."""
         if self._c_pattern is None:
             size = self.system.size
-            jacobian = np.zeros((size, size))
             states = {el.name: DynamicState() for el in self.linear_dynamic}
             unit_ctx = TransientContext(dt=1.0, method="be", states=states)
-            stamp = self._base_stamp(
-                Stamp, np.zeros(size), jacobian, np.zeros(size), 0.0, 1.0,
-                None, unit_ctx,
-            )
-            for el in self.linear_dynamic:
-                el.stamp(stamp)
-            self._c_pattern = jacobian
+            if self.sparse:
+                stamp = self._base_stamp(
+                    _TripletStamp, np.zeros(size), None, np.zeros(size), 0.0,
+                    1.0, None, unit_ctx,
+                )
+                for el in self.linear_dynamic:
+                    el.stamp(stamp)
+                self._c_pattern = stamp.matrix(size)
+            else:
+                jacobian = np.zeros((size, size))
+                stamp = self._base_stamp(
+                    Stamp, np.zeros(size), jacobian, np.zeros(size), 0.0, 1.0,
+                    None, unit_ctx,
+                )
+                for el in self.linear_dynamic:
+                    el.stamp(stamp)
+                self._c_pattern = jacobian
         return self._c_pattern
 
     def _dynamic_residual(self, gmin: float, source_scale: float,
@@ -244,43 +390,101 @@ class CompiledAssembler:
         return self._g_lin, self._b_comb
 
     # -- public assembly -----------------------------------------------
-    def assemble(self, x, gmin, source_scale, time, transient):
-        g_lin, b_lin = self._linear_parts(gmin, source_scale, time, transient)
-        residual = g_lin @ x + b_lin
-        jacobian = g_lin.copy()
+    def _scalar_nonlinear_coo(self, x, residual, gmin, source_scale, time,
+                              transient) -> int:
+        """Stamp the ungrouped nonlinear elements into the COO slots."""
         stamp = self._base_stamp(
             _COOStamp, x, None, residual, gmin, source_scale, time, transient
         )
         stamp.rows, stamp.cols, stamp.vals = self._rows, self._cols, self._vals
         stamp.n_entries = 0
-        for el in self.nonlinear:
+        for el in self.scalar_nonlinear:
             el.stamp(stamp)
-        n = stamp.n_entries
         # Keep (possibly grown) slot arrays for the next iteration.
         self._rows, self._cols, self._vals = stamp.rows, stamp.cols, stamp.vals
+        return stamp.n_entries
+
+    def assemble(self, x, gmin, source_scale, time, transient):
+        g_lin, b_lin = self._linear_parts(gmin, source_scale, time, transient)
+        residual = g_lin @ x + b_lin
+        groups = self.groups
+        ambient = self.system.temperature_k
+        if self.sparse:
+            triplets = []
+            if groups:
+                x_ext = self._x_ext
+                x_ext[:-1] = x
+                for group in groups:
+                    STATS.group_evals += 1
+                    STATS.grouped_device_evals += group.n
+                    triplets.append(
+                        group.stamp_full(x_ext, residual, gmin, ambient)
+                    )
+            n = self._scalar_nonlinear_coo(
+                x, residual, gmin, source_scale, time, transient
+            )
+            if n:
+                triplets.append(
+                    (self._rows[:n], self._cols[:n], self._vals[:n])
+                )
+            STATS.sparse_assemblies += 1
+            if not triplets:
+                return g_lin.copy(), residual
+            rows = np.concatenate([t[0] for t in triplets])
+            cols = np.concatenate([t[1] for t in triplets])
+            vals = np.concatenate([t[2] for t in triplets])
+            size = self.system.size
+            delta = _coo_matrix((vals, (rows, cols)), shape=(size, size))
+            return (g_lin + delta.tocsr()), residual
+        jacobian = g_lin.copy()
+        if groups:
+            x_ext = self._x_ext
+            x_ext[:-1] = x
+            for group in groups:
+                STATS.group_evals += 1
+                STATS.grouped_device_evals += group.n
+                rows, cols, vals = group.stamp_full(x_ext, residual, gmin, ambient)
+                if rows.size:
+                    np.add.at(jacobian, (rows, cols), vals)
+        n = self._scalar_nonlinear_coo(
+            x, residual, gmin, source_scale, time, transient
+        )
         if n:
-            np.add.at(jacobian, (stamp.rows[:n], stamp.cols[:n]), stamp.vals[:n])
+            np.add.at(jacobian, (self._rows[:n], self._cols[:n]), self._vals[:n])
         return jacobian, residual
 
     def assemble_residual(self, x, gmin, source_scale, time, transient):
         g_lin, b_lin = self._linear_parts(gmin, source_scale, time, transient)
         residual = g_lin @ x + b_lin
-        stamp = self._base_stamp(
-            _ResidualOnlyStamp, x, None, residual, gmin, source_scale, time,
-            transient,
-        )
-        for el in self.nonlinear:
-            el.stamp(stamp)
+        groups = self.groups
+        if groups:
+            x_ext = self._x_ext
+            x_ext[:-1] = x
+            ambient = self.system.temperature_k
+            for group in groups:
+                STATS.group_evals += 1
+                STATS.grouped_device_evals += group.n
+                group.stamp_residual(x_ext, residual, gmin, ambient)
+        if self.scalar_nonlinear:
+            stamp = self._base_stamp(
+                _ResidualOnlyStamp, x, None, residual, gmin, source_scale,
+                time, transient,
+            )
+            for el in self.scalar_nonlinear:
+                el.stamp(stamp)
         return residual
 
     def invalidate(self) -> None:
-        """Drop every cached linear part (element values were mutated)."""
+        """Drop every cached linear part (element values were mutated)
+        and re-pack the device groups (their parameter arrays and
+        temperature-override snapshots are build-time copies)."""
         self._g_static_key = None
         self._b_static_key = None
         self._c_pattern = None
         self._g_lin_key = None
         self._b_dyn_key = None
         self._b_comb_key = None
+        self._build_groups()
 
 
 class MNASystem:
@@ -291,7 +495,16 @@ class MNASystem:
         circuit: Circuit,
         temperature_k: float = 300.15,
         compiled: Optional[bool] = None,
+        vectorized: Optional[bool] = None,
+        sparse: Optional[bool] = None,
     ):
+        """Build the system and bind every element's global indices.
+
+        ``compiled``/``vectorized``/``sparse`` override the process-wide
+        defaults (``REPRO_COMPILED``, ``REPRO_VECTORIZED``, the
+        ``REPRO_SPARSE_THRESHOLD`` size switch) for this system — the
+        hooks the equivalence tests use to pin one path per instance.
+        """
         circuit.validate()
         self.circuit = circuit
         self.temperature_k = temperature_k
@@ -306,12 +519,26 @@ class MNASystem:
             raise NetlistError("circuit has no unknowns")
         if compiled is None:
             compiled = _compiled_default()
-        self._assembler = CompiledAssembler(self) if compiled else None
+        self._assembler = (
+            CompiledAssembler(self, vectorized=vectorized, sparse=sparse)
+            if compiled
+            else None
+        )
 
     @property
     def compiled(self) -> bool:
         """True when the compiled fast path is active."""
         return self._assembler is not None
+
+    @property
+    def vectorized(self) -> bool:
+        """True when at least one vectorized device group is active."""
+        return self._assembler is not None and bool(self._assembler.groups)
+
+    @property
+    def sparse_assembly(self) -> bool:
+        """True when :meth:`assemble` returns ``scipy.sparse`` Jacobians."""
+        return self._assembler is not None and self._assembler.sparse
 
     def set_temperature(self, temperature_k: float) -> None:
         """Re-temperature the system in place, keeping the topology.
@@ -330,11 +557,15 @@ class MNASystem:
         self.invalidate()
 
     def invalidate(self) -> None:
-        """Invalidate cached linear stamps after mutating element values.
+        """Invalidate cached state after mutating element values.
 
-        Needed only when a *linear* element's value (resistance, source
-        dc, controlled-source gain) is changed on a live system;
-        nonlinear elements are re-stamped every assembly regardless.
+        Needed when a *linear* element's value (resistance, source dc,
+        controlled-source gain), a *grouped* nonlinear device's model
+        values, or any element's ``temperature_override`` is changed on
+        a live system: the linear caches and the groups' packed
+        parameter arrays are all build-time snapshots, and this call
+        rebuilds both.  Ungrouped nonlinear elements are re-stamped
+        every assembly regardless.
         """
         if self._assembler is not None:
             self._assembler.invalidate()
@@ -352,7 +583,10 @@ class MNASystem:
         ``time`` (seconds) selects the instantaneous value of waveform
         sources (``None`` = DC, i.e. their t=0 value); ``transient`` is
         the integration context of the timestep being solved (``None``
-        = DC, i.e. charge-storage elements stamp nothing).
+        = DC, i.e. charge-storage elements stamp nothing).  In sparse
+        assembly mode (:attr:`sparse_assembly`) ``J`` is a
+        ``scipy.sparse`` matrix; every consumer in the repo (the Newton
+        workspace, the AC subsystem) handles either kind.
         """
         if self._assembler is not None:
             STATS.compiled_assemblies += 1

@@ -54,6 +54,7 @@ from .stats import STATS
 try:  # scipy is an optional accelerator, not a hard dependency
     from scipy.linalg import get_lapack_funcs
     from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse import issparse as _issparse
     from scipy.sparse.linalg import splu as _splu
 
     # Raw LAPACK getrf/getrs: scipy's lu_factor/lu_solve wrappers spend
@@ -179,9 +180,17 @@ class NewtonWorkspace:
             self._size = size
 
     def factor(self, jacobian: np.ndarray, options: SolverOptions) -> bool:
-        """Factor the Jacobian; False if it is singular/non-finite."""
+        """Factor the Jacobian; False if it is singular/non-finite.
+
+        Accepts a dense ndarray or (from the sparse assembly mode) a
+        ``scipy.sparse`` matrix — a sparse input always factors through
+        ``splu`` regardless of the size threshold.
+        """
         try:
-            if _HAVE_SCIPY and jacobian.shape[0] >= options.sparse_threshold:
+            if _HAVE_SCIPY and (
+                _issparse(jacobian)
+                or jacobian.shape[0] >= options.sparse_threshold
+            ):
                 self._kind = "sparse"
                 self._data = _splu(_csc_matrix(jacobian))
                 STATS.sparse_factorizations += 1

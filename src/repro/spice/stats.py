@@ -38,6 +38,15 @@ class SolverStats:
     #: Factorizations routed to scipy.sparse ``splu`` (above the size
     #: threshold) rather than dense LAPACK LU.
     sparse_factorizations: int = 0
+    #: Vectorized device-group evaluation passes (one per group per
+    #: residual/Jacobian assembly through the grouped fast path).
+    group_evals: int = 0
+    #: Devices evaluated through the grouped path, cumulative (the
+    #: per-element scalar dispatch these passes replaced).
+    grouped_device_evals: int = 0
+    #: Assemblies that returned a ``scipy.sparse`` Jacobian (the
+    #: never-densify mode above the sparse threshold).
+    sparse_assemblies: int = 0
     #: Complex linear solves of the AC subsystem (one per frequency).
     ac_solves: int = 0
     #: Complex ``G + jwC`` factorizations taken by the AC subsystem.
@@ -60,6 +69,9 @@ class SolverStats:
         self.compiled_assemblies = 0
         self.reference_assemblies = 0
         self.sparse_factorizations = 0
+        self.group_evals = 0
+        self.grouped_device_evals = 0
+        self.sparse_assemblies = 0
         self.ac_solves = 0
         self.ac_factorizations = 0
         self.ac_factor_reuses = 0
@@ -76,6 +88,9 @@ class SolverStats:
             "compiled_assemblies": self.compiled_assemblies,
             "reference_assemblies": self.reference_assemblies,
             "sparse_factorizations": self.sparse_factorizations,
+            "group_evals": self.group_evals,
+            "grouped_device_evals": self.grouped_device_evals,
+            "sparse_assemblies": self.sparse_assemblies,
             "ac_solves": self.ac_solves,
             "ac_factorizations": self.ac_factorizations,
             "ac_factor_reuses": self.ac_factor_reuses,

@@ -21,7 +21,8 @@ def toy_result():
 class TestWriteCsv:
     def test_roundtrippable_table(self, tmp_path):
         path = write_csv(toy_result(), str(tmp_path))
-        lines = open(path).read().splitlines()
+        with open(path) as handle:
+            lines = handle.read().splitlines()
         assert lines[0] == "x,y"
         assert lines[1] == "1,2.5"
         assert "# Toy experiment" in lines

@@ -1,0 +1,24 @@
+"""Shared fixtures of the SPICE test suite.
+
+``device_eval_path`` parametrizes a suite over both nonlinear-device
+evaluator paths — the vectorized group engine and the scalar
+per-element reference — via the same environment knobs production code
+honours.  Suites that solve circuits (compiled assembly, LU reuse,
+transient, AC) opt in with::
+
+    pytestmark = pytest.mark.usefixtures("device_eval_path")
+
+so every test in them runs on both paths without duplication.
+``REPRO_GROUP_MIN=1`` drops the adaptive size threshold, making even
+the two-BJT families exercise the vectorized math.
+"""
+
+import pytest
+
+
+@pytest.fixture(params=["1", "0"], ids=["vectorized", "scalar"])
+def device_eval_path(request, monkeypatch):
+    """Run the test under REPRO_VECTORIZED=1 (group-min 1) and =0."""
+    monkeypatch.setenv("REPRO_VECTORIZED", request.param)
+    monkeypatch.setenv("REPRO_GROUP_MIN", "1")
+    return request.param

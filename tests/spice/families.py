@@ -1,0 +1,117 @@
+"""The shared circuit-family registry of the equivalence harness.
+
+One builder per circuit family in the repo — the netlist-level cells the
+experiments use plus element-zoo circuits covering every stamp class.
+The compiled-assembly equivalence suite, the vectorized-group
+equivalence suite, the golden-operating-point suite and the golden
+regeneration script all iterate this same registry, so adding a family
+here extends every layer of the harness at once.
+
+:func:`assert_stamps_close` is the one equivalence yardstick: 1e-12
+*relative to the stamp's scale*.  Bitwise identity between evaluator
+paths is not a meaningful contract — ``np.exp`` and ``math.exp`` may
+legitimately differ in the last ulp, and entries formed by near-exact
+cancellation (the BJT's (e, b) Jacobian term is a sum of four ~1e3
+conductances cancelling to ~1) amplify that ulp far beyond any fixed
+relative tolerance of the *entry*.  Scaling the absolute floor by the
+largest stamped magnitude pins exactly what the engine guarantees:
+every entry correct to 1e-12 of the stamp that produced it.
+"""
+
+import numpy as np
+
+from repro.circuits.bandgap_cell import BandgapCellConfig, build_bandgap_cell
+from repro.circuits.bias_pair import BiasedPair, build_bias_pair_circuit
+from repro.circuits.startup import (
+    StartupRampConfig,
+    Sub1VStartupConfig,
+    build_startup_bandgap_cell,
+    build_startup_sub1v_cell,
+)
+from repro.circuits.sub1v import build_sub1v_cell
+from repro.spice import (
+    VCCS,
+    VCVS,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.elements.controlled import CCCS, CCVS
+from repro.spice.elements.diode import Diode
+from repro.spice.elements.opamp import OpAmp
+
+
+#: The equivalence contract: entries match to 1e-12 of the stamp scale.
+STAMP_RTOL = 1e-12
+
+
+def assert_stamps_close(actual, desired, rtol=STAMP_RTOL):
+    """Assert two stamped matrices/vectors agree to ``rtol`` of the
+    largest stamped magnitude (see module docstring for why the
+    absolute floor scales)."""
+    scale = max(float(np.max(np.abs(desired))), 1.0)
+    np.testing.assert_allclose(actual, desired, rtol=rtol, atol=rtol * scale)
+
+
+def _rc_ladder() -> Circuit:
+    circuit = Circuit("rc ladder")
+    circuit.add(VoltageSource("V1", "in", "0", 3.3))
+    circuit.add(Resistor("R1", "in", "mid", 1e3, tc1=2e-3))
+    circuit.add(Resistor("R2", "mid", "0", 2e3))
+    circuit.add(Capacitor("C1", "mid", "0", 1e-9))
+    circuit.add(Capacitor("C2", "in", "mid", 3e-10))
+    circuit.add(CurrentSource("I1", "0", "mid", lambda t: 1e-6 * t))
+    return circuit
+
+
+def _diode_chain() -> Circuit:
+    circuit = Circuit("diode chain")
+    circuit.add(VoltageSource("V1", "n0", "0", 2.5))
+    circuit.add(Resistor("R1", "n0", "m0", 1e3))
+    for index in range(3):
+        circuit.add(Diode(f"D{index}", f"m{index}", f"m{index + 1}"))
+    circuit.add(Resistor("RL", "m3", "0", 1e3))
+    return circuit
+
+
+def _controlled_zoo() -> Circuit:
+    circuit = Circuit("controlled sources")
+    circuit.add(VoltageSource("V1", "in", "0", 0.7))
+    circuit.add(Resistor("R1", "in", "a", 1e3))
+    circuit.add(VCVS("E1", "b", "0", "in", "a", 4.0))
+    circuit.add(Resistor("R2", "b", "c", 2e3))
+    circuit.add(VCCS("G1", "0", "c", "b", "0", 1e-4))
+    sense = VoltageSource("VS", "c", "d", 0.0)
+    circuit.add(sense)
+    circuit.add(CCCS("F1", "0", "a", sense, 2.0))
+    circuit.add(CCVS("H1", "d", "0", sense, 50.0))
+    return circuit
+
+
+def _opamp_follower() -> Circuit:
+    circuit = Circuit("opamp follower")
+    circuit.add(VoltageSource("V1", "in", "0", 1.2))
+    circuit.add(OpAmp("A1", "in", "out", "out", gain=5e3))
+    circuit.add(Resistor("RL", "out", "0", 1e4))
+    return circuit
+
+
+def _bandgap_trimmed() -> Circuit:
+    return build_bandgap_cell(BandgapCellConfig(radja=2.5e3, p5_tap_offset_v=1e-4))
+
+
+#: Every netlist-level circuit family in the repo, by builder.
+CIRCUITS = {
+    "rc_ladder": _rc_ladder,
+    "diode_chain": _diode_chain,
+    "controlled_zoo": _controlled_zoo,
+    "opamp_follower": _opamp_follower,
+    "bias_pair": lambda: build_bias_pair_circuit(BiasedPair()),
+    "bandgap_cell": build_bandgap_cell,
+    "bandgap_trimmed": _bandgap_trimmed,
+    "sub1v_cell": build_sub1v_cell,
+    "startup_bandgap": lambda: build_startup_bandgap_cell(StartupRampConfig()),
+    "startup_sub1v": lambda: build_startup_sub1v_cell(Sub1VStartupConfig()),
+}

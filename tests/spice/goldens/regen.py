@@ -1,0 +1,88 @@
+"""Regenerate the golden DC operating points.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:tests/spice python tests/spice/goldens/regen.py
+
+Solves every registered circuit family at its golden temperature and
+rewrites ``tests/spice/goldens/<family>.json`` with the node voltages,
+branch currents and (where present) V_ref of the converged operating
+point.  The solve runs on the scalar reference evaluator
+(``vectorized=False``) so the goldens are anchored to the
+simplest-possible path; ``tests/spice/test_golden_op.py`` then asserts
+that *both* evaluator paths reproduce them to 1e-9.
+
+Regenerating is a deliberate act: only rerun this after a change that
+is *supposed* to move operating points (a model-card fix, a new
+physical effect), and review the diff — the goldens exist to catch
+every unintended perturbation of solved numbers.
+"""
+
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(GOLDEN_DIR.parent))          # families registry
+sys.path.insert(0, str(GOLDEN_DIR.parents[2] / "src"))  # repro package
+
+#: Solve temperature of every golden [K].
+GOLDEN_TEMPERATURE_K = 300.15
+
+#: Waveform-source pin time per family [s].  The startup cells ramp VDD
+#: from zero (their t=0 point is the trivial all-off state), so their
+#: goldens pin the *post-ramp* operating point instead — the reference
+#: fully started.  ``None`` = plain DC (t=0 waveform values).
+GOLDEN_TIMES = {
+    "startup_bandgap": 1e-4,
+    "startup_sub1v": 1e-4,
+}
+
+
+def golden_point(circuit, temperature_k=GOLDEN_TEMPERATURE_K, time=None):
+    """Solve the scalar-reference DC point and flatten it for JSON."""
+    from repro.spice.mna import MNASystem
+    from repro.spice.solver import solve_dc_system
+
+    system = MNASystem(circuit, temperature_k=temperature_k, vectorized=False)
+    raw = solve_dc_system(system, time=time)
+    node_voltages = {
+        node: float(raw.x[circuit.node_index(node)])
+        for node in sorted(circuit.nodes)
+    }
+    branch_currents = {
+        element.name: float(raw.x[element.branch_index()])
+        for element in circuit.elements
+        if element.branch_count
+    }
+    payload = {
+        "temperature_k": temperature_k,
+        "time": time,
+        "strategy": raw.strategy,
+        "node_voltages": node_voltages,
+        "branch_currents": branch_currents,
+    }
+    if "vref" in node_voltages:
+        payload["vref"] = node_voltages["vref"]
+    return payload
+
+
+def main() -> int:
+    from families import CIRCUITS
+
+    for name in sorted(CIRCUITS):
+        circuit = CIRCUITS[name]()
+        payload = {
+            "family": name,
+            **golden_point(circuit, time=GOLDEN_TIMES.get(name)),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.name}: {len(payload['node_voltages'])} nodes, "
+              f"{len(payload['branch_currents'])} branches, "
+              f"strategy={payload['strategy']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

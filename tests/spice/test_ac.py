@@ -9,6 +9,11 @@ and the single-pole op-amp model.
 import numpy as np
 import pytest
 
+#: The AC linearisation (G from the compiled Jacobian, C from grouped
+#: or scalar ac_stamp) runs on both evaluator paths via the conftest
+#: fixture.
+pytestmark = pytest.mark.usefixtures("device_eval_path")
+
 from repro.errors import NetlistError
 from repro.spice import (
     ACSweepChain,

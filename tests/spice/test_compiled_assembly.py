@@ -11,97 +11,22 @@ step with non-trivial integrator state.
 import numpy as np
 import pytest
 
-from repro.circuits.bandgap_cell import BandgapCellConfig, build_bandgap_cell
-from repro.circuits.bias_pair import BiasedPair, build_bias_pair_circuit
-from repro.circuits.startup import (
-    StartupRampConfig,
-    Sub1VStartupConfig,
-    build_startup_bandgap_cell,
-    build_startup_sub1v_cell,
-)
-from repro.circuits.sub1v import build_sub1v_cell
-from repro.spice import (
-    VCCS,
-    VCVS,
-    Capacitor,
-    Circuit,
-    CurrentSource,
-    Resistor,
-    VoltageSource,
-)
-from repro.spice.elements.controlled import CCCS, CCVS
+from repro.spice import Circuit, Resistor, VoltageSource
 from repro.spice.elements.base import DynamicState, TransientContext
-from repro.spice.elements.diode import Diode
-from repro.spice.elements.opamp import OpAmp
 from repro.spice.mna import MNASystem
 from repro.spice.solver import solve_dc
+
+from families import CIRCUITS
+
+#: Both device-evaluator paths (the conftest fixture flips
+#: REPRO_VECTORIZED): the compiled-vs-reference contract must hold
+#: whether the nonlinear devices evaluate grouped or scalar.
+pytestmark = pytest.mark.usefixtures("device_eval_path")
 
 #: Matching tolerance: the two paths may only differ by summation-order
 #: rounding, parts in 1e16 of the largest stamped term.
 ATOL = 1e-12
 RTOL = 1e-12
-
-
-def _rc_ladder() -> Circuit:
-    circuit = Circuit("rc ladder")
-    circuit.add(VoltageSource("V1", "in", "0", 3.3))
-    circuit.add(Resistor("R1", "in", "mid", 1e3, tc1=2e-3))
-    circuit.add(Resistor("R2", "mid", "0", 2e3))
-    circuit.add(Capacitor("C1", "mid", "0", 1e-9))
-    circuit.add(Capacitor("C2", "in", "mid", 3e-10))
-    circuit.add(CurrentSource("I1", "0", "mid", lambda t: 1e-6 * t))
-    return circuit
-
-
-def _diode_chain() -> Circuit:
-    circuit = Circuit("diode chain")
-    circuit.add(VoltageSource("V1", "n0", "0", 2.5))
-    circuit.add(Resistor("R1", "n0", "m0", 1e3))
-    for index in range(3):
-        circuit.add(Diode(f"D{index}", f"m{index}", f"m{index + 1}"))
-    circuit.add(Resistor("RL", "m3", "0", 1e3))
-    return circuit
-
-
-def _controlled_zoo() -> Circuit:
-    circuit = Circuit("controlled sources")
-    circuit.add(VoltageSource("V1", "in", "0", 0.7))
-    circuit.add(Resistor("R1", "in", "a", 1e3))
-    circuit.add(VCVS("E1", "b", "0", "in", "a", 4.0))
-    circuit.add(Resistor("R2", "b", "c", 2e3))
-    circuit.add(VCCS("G1", "0", "c", "b", "0", 1e-4))
-    sense = VoltageSource("VS", "c", "d", 0.0)
-    circuit.add(sense)
-    circuit.add(CCCS("F1", "0", "a", sense, 2.0))
-    circuit.add(CCVS("H1", "d", "0", sense, 50.0))
-    return circuit
-
-
-def _opamp_follower() -> Circuit:
-    circuit = Circuit("opamp follower")
-    circuit.add(VoltageSource("V1", "in", "0", 1.2))
-    circuit.add(OpAmp("A1", "in", "out", "out", gain=5e3))
-    circuit.add(Resistor("RL", "out", "0", 1e4))
-    return circuit
-
-
-def _bandgap_trimmed() -> Circuit:
-    return build_bandgap_cell(BandgapCellConfig(radja=2.5e3, p5_tap_offset_v=1e-4))
-
-
-#: Every netlist-level circuit family in the repo, by builder.
-CIRCUITS = {
-    "rc_ladder": _rc_ladder,
-    "diode_chain": _diode_chain,
-    "controlled_zoo": _controlled_zoo,
-    "opamp_follower": _opamp_follower,
-    "bias_pair": lambda: build_bias_pair_circuit(BiasedPair()),
-    "bandgap_cell": build_bandgap_cell,
-    "bandgap_trimmed": _bandgap_trimmed,
-    "sub1v_cell": build_sub1v_cell,
-    "startup_bandgap": lambda: build_startup_bandgap_cell(StartupRampConfig()),
-    "startup_sub1v": lambda: build_startup_sub1v_cell(Sub1VStartupConfig()),
-}
 
 #: (gmin, source_scale) corners the stepping strategies exercise.
 CONDITIONS = [(1e-12, 1.0), (1e-3, 1.0), (1e-12, 0.3)]
@@ -168,7 +93,7 @@ def test_transient_step_assembly_matches_reference(name):
 
 def test_fresh_context_refreshes_companion_history():
     """Advancing the integrator state must invalidate the cached b_lin."""
-    circuit = _rc_ladder()
+    circuit = CIRCUITS["rc_ladder"]()
     compiled = MNASystem(circuit, compiled=True)
     reference = MNASystem(circuit, compiled=False)
     x = np.full(compiled.size, 0.5)
@@ -222,7 +147,7 @@ def test_compiled_and_reference_solve_to_same_point(name):
 
 def test_total_source_power_matches_elementwise_sum():
     """The residual-only power path equals a hand sum over sources."""
-    circuit = _rc_ladder()
+    circuit = CIRCUITS["rc_ladder"]()
     solution = solve_dc(circuit)
     system = MNASystem(circuit)
     total = system.total_source_power(solution.x)

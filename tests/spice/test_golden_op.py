@@ -1,0 +1,100 @@
+"""Golden-reference regression suite for solved DC operating points.
+
+Every registered circuit family carries a committed JSON golden
+(``tests/spice/goldens/<family>.json``) pinning the node voltages,
+branch currents and V_ref of its converged operating point — at 300.15 K
+for the DC families and at the post-ramp timepoint for the startup
+cells.  Each golden is asserted on *both* device-evaluator paths
+(vectorized groups and the scalar per-element reference) at 1e-9: any
+change anywhere in the solver/assembly stack that perturbs a solved
+number beyond convergence noise fails loudly, with the diff localised
+to a named node of a named family.
+
+Goldens are regenerated deliberately with::
+
+    PYTHONPATH=src:tests/spice python tests/spice/goldens/regen.py
+
+— only after a change *meant* to move operating points, with the JSON
+diff reviewed (see the script's docstring).
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.spice.mna import MNASystem
+from repro.spice.solver import solve_dc_system
+
+from families import CIRCUITS
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "goldens"
+
+#: Matching tolerance against the committed goldens.  The solver's KCL
+#: tolerance (abstol 1e-12 A through ~1e-3 S node conductances) bounds
+#: solution noise near 1e-9 V, so this is as tight as a regenerable
+#: golden can honestly be pinned.
+RTOL = 1e-9
+ATOL = 1e-9
+
+
+def _load_golden(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden for family {name!r}; run "
+        "PYTHONPATH=src:tests/spice python tests/spice/goldens/regen.py"
+    )
+    return json.loads(path.read_text())
+
+
+def test_every_family_has_a_golden_and_vice_versa():
+    """The registry and the golden directory must stay in lockstep."""
+    families = set(CIRCUITS)
+    goldens = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert families == goldens
+
+
+@pytest.mark.parametrize("vectorized", [True, False],
+                         ids=["vectorized", "scalar"])
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+def test_operating_point_matches_golden(name, vectorized):
+    golden = _load_golden(name)
+    circuit = CIRCUITS[name]()
+    system = MNASystem(
+        circuit,
+        temperature_k=golden["temperature_k"],
+        vectorized=vectorized,
+    )
+    raw = solve_dc_system(system, time=golden["time"])
+
+    for node, expected in golden["node_voltages"].items():
+        solved = raw.x[circuit.node_index(node)]
+        assert solved == pytest.approx(expected, rel=RTOL, abs=ATOL), (
+            f"{name}: node {node!r} moved: {solved!r} vs golden {expected!r}"
+        )
+    for element_name, expected in golden["branch_currents"].items():
+        solved = raw.x[circuit.element(element_name).branch_index()]
+        assert solved == pytest.approx(expected, rel=RTOL, abs=ATOL), (
+            f"{name}: branch current of {element_name!r} moved: "
+            f"{solved!r} vs golden {expected!r}"
+        )
+    if "vref" in golden:
+        vref = raw.x[circuit.node_index("vref")]
+        assert vref == pytest.approx(golden["vref"], rel=RTOL, abs=ATOL)
+
+
+def test_goldens_are_physical():
+    """Sanity floor under the regeneration script: the committed
+    numbers themselves must describe working references."""
+    for name in ("bandgap_cell", "bandgap_trimmed", "startup_bandgap"):
+        golden = _load_golden(name)
+        assert 1.15 < golden["vref"] < 1.30, (name, golden["vref"])
+    for name in ("sub1v_cell", "startup_sub1v"):
+        golden = _load_golden(name)
+        assert 0.5 < golden["vref"] < 0.9, (name, golden["vref"])
+    chain = _load_golden("diode_chain")
+    drops = np.diff(
+        [chain["node_voltages"][f"m{i}"] for i in range(4)]
+    )
+    assert np.all(drops < 0)  # forward-biased chain steps down

@@ -9,6 +9,10 @@ size threshold.
 import numpy as np
 import pytest
 
+#: Run the whole reuse/sparse contract on both device-evaluator paths
+#: (the conftest fixture flips REPRO_VECTORIZED).
+pytestmark = pytest.mark.usefixtures("device_eval_path")
+
 from repro.circuits.bandgap_cell import build_bandgap_cell
 from repro.circuits.startup import StartupRampConfig, build_startup_bandgap_cell
 from repro.spice import Circuit, Resistor, SolverOptions, VoltageSource, solve_dc

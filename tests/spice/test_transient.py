@@ -5,6 +5,10 @@ import math
 import numpy as np
 import pytest
 
+#: Integration accuracy and step control must be identical on both
+#: device-evaluator paths (the conftest fixture flips REPRO_VECTORIZED).
+pytestmark = pytest.mark.usefixtures("device_eval_path")
+
 from repro.errors import NetlistError
 from repro.spice import (
     Capacitor,
