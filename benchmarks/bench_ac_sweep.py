@@ -5,8 +5,8 @@ impedance experiments: linearise the AC-ready bandgap cell at a solved
 operating point and sweep the complex system over a log frequency grid.
 One benchmark times a single linearise-and-sweep (DC solve included —
 that is the real cost profile of the workload); a second times the
-multi-temperature chain family through ``ac_solve_batch`` (one
-re-temperatured system per chain, REPRO_WORKERS fans chains out on
+multi-temperature family through the Session batch layer (one plan per
+temperature against one recipe, REPRO_WORKERS fans groups out on
 multi-core hosts); a third isolates the pure complex-sweep cost by
 reusing one linearisation across repeated sweeps.
 """
@@ -14,9 +14,9 @@ reusing one linearisation across repeated sweeps.
 import numpy as np
 
 from repro.experiments.ac_common import build_psrr_cell
-from repro.spice.ac import ACSweepChain, ACSystem, ac_solve_batch, log_frequencies
-from repro.spice.analysis import operating_point
-from repro.spice.mna import MNASystem
+from repro.spice.ac import ACSystem, log_frequencies
+from repro.spice.plans import ACSweep, OP
+from repro.spice.session import Session, SessionRecipe, run_plans
 
 FREQS = tuple(log_frequencies(10.0, 1e7, points_per_decade=4))
 TEMPS_K = (247.0, 297.0, 348.0)
@@ -38,23 +38,22 @@ def test_ac_single_sweep(benchmark):
 
 
 def test_ac_batch_temperature_chains(benchmark):
-    """The PSRR temperature family as parallel AC chains."""
-    chains = [
-        ACSweepChain(
-            builder=build_psrr_cell,
-            frequencies_hz=FREQS,
-            temperatures_k=(temperature,),
+    """The PSRR temperature family through the Session batch layer."""
+    pairs = [
+        (
+            SessionRecipe(builder=build_psrr_cell),
+            ACSweep(frequencies_hz=FREQS, temperatures_k=(temperature,)),
         )
         for temperature in TEMPS_K
     ]
-    batches = benchmark(ac_solve_batch, chains)
-    for batch in batches:
-        _assert_psrr_window(batch[0])
+    results = benchmark(run_plans, pairs)
+    for result in results:
+        _assert_psrr_window(result.ac_results[0])
 
 
 def test_ac_resweep_reuses_linearisation(benchmark):
     """The pure complex-solve cost: one operating point, many sweeps."""
-    circuit = build_psrr_cell()
-    op = operating_point(circuit)
-    ac_system = ACSystem(MNASystem(circuit), op.x, op=op)
+    session = Session(build_psrr_cell)
+    op_result = session.run(OP())
+    ac_system = ACSystem(session.system, op_result.op.x, op=op_result.op)
     _assert_psrr_window(benchmark(ac_system.solve, FREQS))

@@ -1,18 +1,20 @@
 """Mini-SPICE playground: drive the MNA solver directly.
 
 Parses a SPICE-flavoured netlist of a diode-connected PNP bias chain,
-solves its operating point, runs a temperature sweep, and closes the
-electro-thermal self-heating loop — the substrate machinery every other
-layer of the library is built on.
+solves its operating point and a temperature sweep through one
+:class:`Session` (the sweep warm-starts off the cached operating
+point), and closes the electro-thermal self-heating loop — the
+substrate machinery every other layer of the library is built on.
 
 Run:  python examples/netlist_playground.py
 """
 
 from repro.spice import (
-    operating_point,
+    OP,
+    Session,
+    TempSweep,
     parse_netlist,
     solve_with_self_heating,
-    temperature_sweep,
 )
 from repro.units import celsius_to_kelvin
 
@@ -29,15 +31,18 @@ def main() -> None:
     circuit = parse_netlist(NETLIST)
     print(f"parsed: {circuit!r}")
 
-    op = operating_point(circuit, temperature_k=300.15)
+    session = Session(circuit)
+    op = session.run(OP(temperature_k=300.15)).op
     vbe = op.voltage("e")
     current = (3.3 - vbe) / 220e3
     print(f"\noperating point at 300.15 K (strategy: {op.strategy}, "
           f"{op.iterations} Newton iterations):")
     print(f"  VEB = {vbe * 1000:.2f} mV, branch current = {current * 1e6:.2f} uA")
 
-    temps = [celsius_to_kelvin(t) for t in (-50, -25, 0, 25, 50, 75, 100, 125)]
-    sweep = temperature_sweep(circuit, temps)
+    temps = tuple(celsius_to_kelvin(t) for t in (-50, -25, 0, 25, 50, 75, 100, 125))
+    # Same session: the sweep anchors at the grid point nearest the
+    # cached 300.15 K solution and chains outward from it.
+    sweep = session.run(TempSweep(temperatures_k=temps))
     print("\nVEB over temperature (the CTAT ~ -2 mV/K the paper fits):")
     for t_k, v in zip(temps, sweep.voltage("e")):
         print(f"  {t_k - 273.15:6.1f} C: {v * 1000:7.2f} mV")

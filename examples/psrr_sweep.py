@@ -19,17 +19,19 @@ import numpy as np
 
 from repro.experiments.ac_common import build_psrr_cell
 from repro.experiments.psrr_vref import dc_line_regulation_db
-from repro.spice import ac_analysis, log_frequencies
+from repro.spice import ACSweep, Session, log_frequencies
 
 TEMPERATURE_K = 300.15  # 27 C
 
 
 def main() -> None:
-    circuit = build_psrr_cell()
+    session = Session(build_psrr_cell, temperature_k=TEMPERATURE_K)
     frequencies = log_frequencies(10.0, 1e7, points_per_decade=2)
 
-    print(f"circuit: {circuit.title}")
-    result = ac_analysis(circuit, frequencies, temperature_k=TEMPERATURE_K)
+    print(f"circuit: {session.circuit.title}")
+    result = session.run(
+        ACSweep(frequencies_hz=tuple(frequencies), temperatures_k=(TEMPERATURE_K,))
+    ).ac_results[0]
     op = result.op
     print(f"operating point: VREF = {op.voltage('vref'):.6f} V "
           f"({op.iterations} Newton iterations, {op.strategy})")
@@ -41,7 +43,9 @@ def main() -> None:
         bar = "#" * int(round(rejection / 5.0))
         print(f"  {frequency:>10.3g}  {rejection:8.2f}  {bar}")
 
-    fd_db = dc_line_regulation_db(TEMPERATURE_K)
+    # Same session: the FD probe points warm-start from the AC sweep's
+    # cached operating point instead of paying a fresh ladder.
+    fd_db = dc_line_regulation_db(TEMPERATURE_K, session=session)
     print()
     print(f"AC value at {frequencies[0]:.0f} Hz:      {psrr_db[0]:.3f} dB")
     print(f"DC line regulation (FD):  {fd_db:.3f} dB   "

@@ -11,27 +11,30 @@ Run:  PYTHONPATH=src python examples/startup_ramp.py
 """
 
 from repro.circuits.startup import StartupRampConfig, build_startup_bandgap_cell
-from repro.spice import TransientOptions, solve_dc, transient_analysis
+from repro.spice import OP, Session, Transient, TransientOptions
 
 TEMPERATURE_K = 300.15  # 27 C
 
 
 def main() -> None:
     ramp = StartupRampConfig()  # 0 -> 5 V in 50 us after a 5 us delay
-    circuit = build_startup_bandgap_cell(ramp)
+    session = Session(
+        build_startup_bandgap_cell, args=(ramp,), temperature_k=TEMPERATURE_K
+    )
     t_end = ramp.t_on + 150e-6
 
-    print(f"circuit: {circuit.title}")
+    print(f"circuit: {session.circuit.title}")
     print(f"supply ramp: 0 -> {ramp.vdd:.1f} V over {ramp.ramp * 1e6:.0f} us "
           f"(delay {ramp.delay * 1e6:.0f} us)")
     print()
 
-    result = transient_analysis(
-        circuit,
-        t_end,
-        temperature_k=TEMPERATURE_K,
-        options=TransientOptions(method="trap"),
-    )
+    result = session.run(
+        Transient(
+            t_stop=t_end,
+            temperature_k=TEMPERATURE_K,
+            options=TransientOptions(method="trap"),
+        )
+    ).result
     print(f"integrated {result.accepted_steps} accepted steps "
           f"({result.rejected_lte} LTE rejections, "
           f"{result.newton_retries} Newton retries)")
@@ -50,9 +53,11 @@ def main() -> None:
         bar = "#" * int(round(40 * v / max(vref.max(), 1e-12)))
         print(f"  {probe_us:6.0f}   {d:7.3f}  {v:8.4f}  {bar}")
 
-    # The settled output must match the powered-up DC operating point.
-    dc = solve_dc(circuit, temperature_k=TEMPERATURE_K, time=t_end)
-    vref_dc = float(dc.x[circuit.node_index("vref")])
+    # The settled output must match the powered-up DC operating point
+    # (same session; the post-ramp pinned time keys its own cache slot,
+    # so the dead pre-ramp state can never answer this solve).
+    dc = session.run(OP(temperature_k=TEMPERATURE_K, time=t_end)).op
+    vref_dc = dc.voltage("vref")
     error_uv = abs(vref[-1] - vref_dc) * 1e6
     settle = result.settling_time("vref", 1e-3, final_value=vref_dc)
     print()

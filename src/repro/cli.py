@@ -8,8 +8,9 @@ also writes each regenerated table as ``DIR/<experiment>.csv``.
 ``--bench`` times each named experiment and prints its wall time plus
 the solver-statistics snapshot (Newton iterations, factorizations, LU
 reuses, assembly-path counters, vectorized device-group counters,
-sparse-assembly counts, AC solve/factorization-reuse counters,
-DC strategies) both human-readably and
+sparse-assembly counts, AC solve/factorization-reuse counters, the
+Session solved-point-cache counters — exact hits / warm starts /
+misses — and plan counts, DC strategies) both human-readably and
 as a machine-scrapable ``BENCH {json}`` line, so perf trajectories can
 be collected from plain CI logs.  ``--workers N`` fans independent work
 (experiments, sweep chains, Monte-Carlo chips) over N processes
@@ -142,6 +143,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['grouped_device_evals']}dev  "
             f"ac={row['ac_solves']}s/{row['ac_factorizations']}f/"
             f"{row['ac_factor_reuses']}r  "
+            f"cache={row['op_cache_hits']}h/"
+            f"{row['op_cache_warm_starts']}w/"
+            f"{row['op_cache_misses']}m  "
+            f"plans={row['session_plans']}  "
             f"strategies: {strategies or '-'}"
         )
         print("BENCH " + json.dumps(row, sort_keys=True))

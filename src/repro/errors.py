@@ -17,6 +17,26 @@ class NetlistError(ReproError):
     missing ground reference, bad element value...)."""
 
 
+class PlanError(NetlistError):
+    """A declarative analysis plan failed validation.
+
+    Raised by the Session planner *before any solve runs*: empty grids,
+    unknown nodes or elements, conflicting parameter overrides,
+    inconsistent windows.  Subclasses :class:`NetlistError` so code
+    written against the legacy entry points (which raised NetlistError
+    for the same mistakes) keeps catching it.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment runner failed.
+
+    Carries the experiment id in its message so batch runs (and their
+    process fan-out, where tracebacks lose the submitting call site)
+    keep failure attribution.
+    """
+
+
 class ConvergenceError(ReproError):
     """The nonlinear DC solver failed to converge.
 

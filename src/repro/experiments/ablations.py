@@ -27,7 +27,8 @@ from ..circuits.reference import BehaviouralBandgap
 from ..constants import thermal_voltage
 from ..extraction.temperature import a_coefficient, current_ratio_x
 from ..measurement.samples import DeviceSample
-from ..spice.analysis import SweepChain, solve_batch
+from ..spice.plans import TempSweep
+from ..spice.session import SessionRecipe, run_plans
 from ..units import celsius_to_kelvin
 from .registry import ExperimentResult, register
 
@@ -125,18 +126,16 @@ def run_solver() -> ExperimentResult:
         ("leaky", BandgapCellConfig()),
         ("trimmed", BandgapCellConfig(radja=2.5e3)),
     )
-    # Three independent warm-start chains over the same grid: the batch
-    # layer solves them (and fans them across processes under
-    # REPRO_WORKERS) with results identical to sequential sweeps.
-    sweeps = solve_batch(
+    # Three sessions (one per configuration) over the same grid: the
+    # Session batch layer solves them (and fans them across processes
+    # under REPRO_WORKERS) with results identical to sequential sweeps.
+    sweeps = run_plans(
         [
-            SweepChain(
-                builder=build_bandgap_cell,
-                args=(config,),
-                temperatures_k=temps_k,
-                label=label,
+            (
+                SessionRecipe(builder=build_bandgap_cell, args=(config,)),
+                TempSweep(temperatures_k=temps_k),
             )
-            for label, config in variants
+            for _label, config in variants
         ]
     )
     rows = []

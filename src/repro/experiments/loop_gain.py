@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..spice.ac import ac_analysis, log_frequencies
-from ..spice.analysis import operating_point
+from ..spice.ac import log_frequencies
+from ..spice.plans import ACSweep, OP
+from ..spice.session import Session
 from ..circuits.bandgap_cell import CellNodes, measure_vref
 from .ac_common import LOOP_RETURN_NODE, build_loop_gain_cell, build_psrr_cell
 from .registry import ExperimentResult, register
@@ -34,14 +35,14 @@ LOOP_F_START, LOOP_F_STOP = 10.0, 1e8
 def run() -> ExperimentResult:
     # Closed-loop operating point: the values the broken loop is pinned at.
     nodes = CellNodes()
-    closed_op = operating_point(build_psrr_cell(vdd_ac=0.0))
+    closed_op = Session(build_psrr_cell, kwargs={"vdd_ac": 0.0}).run(OP()).op
     vref_dc = measure_vref(closed_op)
     p4_dc = closed_op.voltage(nodes.p4)
     nb_dc = closed_op.voltage(nodes.nb)
 
     frequencies = log_frequencies(LOOP_F_START, LOOP_F_STOP, points_per_decade=4)
-    broken = build_loop_gain_cell(p4_dc, nb_dc)
-    result = ac_analysis(broken, frequencies)
+    broken = Session(build_loop_gain_cell, args=(p4_dc, nb_dc))
+    result = broken.run(ACSweep(frequencies_hz=tuple(frequencies))).ac_results[0]
 
     # The VCVS probe carries L(jw) directly (sign already folded in).
     magnitude_db = result.magnitude_db(LOOP_RETURN_NODE)

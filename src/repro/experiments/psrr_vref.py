@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..spice.ac import ACSweepChain, ac_solve_batch, log_frequencies
-from ..spice.analysis import dc_sweep
+from ..spice.ac import log_frequencies
+from ..spice.plans import ACSweep, DCSweep
+from ..spice.session import Session
 from ..circuits.bandgap_cell import measure_vref
 from ..units import celsius_to_kelvin
 from .ac_common import build_psrr_cell
@@ -33,17 +34,28 @@ PSRR_TEMPS_C = (-26.15, 23.85, 74.85)
 PSRR_F_START, PSRR_F_STOP = 10.0, 1e7
 
 
-def dc_line_regulation_db(temperature_k: float, delta_v: float = 1e-3) -> float:
+def dc_line_regulation_db(
+    temperature_k: float,
+    delta_v: float = 1e-3,
+    session: Session = None,
+) -> float:
     """``-20 log10 |dVREF/dVDD|`` by finite differences on DC solves.
 
-    One :func:`dc_sweep` of the supply source: both probe points share
-    the system and the second warm-starts off the first, instead of
-    paying two cold gain-stepping ladders.
+    One ``DCSweep`` of the supply source: both probe points share the
+    session's system and the second warm-starts off the first.  Passing
+    the experiment's own ``session`` lets the probe points warm-start
+    from the AC sweep's already-cached operating point (the supply
+    nudge is well inside the cache's warm-start band), so the
+    finite-difference anchor costs no fresh gain-stepping ladder.
     """
-    circuit = build_psrr_cell()
-    vdd = float(circuit.element("VDD").dc)
-    sweep = dc_sweep(
-        circuit, "VDD", [vdd - delta_v, vdd + delta_v], temperature_k=temperature_k
+    session = session or Session(build_psrr_cell)
+    vdd = float(session.circuit.element("VDD").dc)
+    sweep = session.run(
+        DCSweep(
+            source="VDD",
+            values=(vdd - delta_v, vdd + delta_v),
+            temperature_k=temperature_k,
+        )
     )
     low, high = (measure_vref(point) for point in sweep.points)
     slope = (high - low) / (2.0 * delta_v)
@@ -55,18 +67,14 @@ def run() -> ExperimentResult:
     temps_k = tuple(celsius_to_kelvin(t) for t in PSRR_TEMPS_C)
     frequencies = log_frequencies(PSRR_F_START, PSRR_F_STOP, points_per_decade=4)
 
-    # One chain per temperature: independent linearisations, fanned out
-    # across processes by the batch layer (serial by default).
-    chains = [
-        ACSweepChain(
-            builder=build_psrr_cell,
-            frequencies_hz=tuple(frequencies),
-            temperatures_k=(temperature,),
-            label=f"psrr@{temperature:.0f}K",
-        )
-        for temperature in temps_k
-    ]
-    results = [batch[0] for batch in ac_solve_batch(chains)]
+    # ONE session for the whole experiment: the three temperatures
+    # warm-chain inside one ACSweep plan, and the DC line-regulation
+    # anchor below rides the same solved-point cache.
+    session = Session(build_psrr_cell)
+    ac = session.run(
+        ACSweep(frequencies_hz=tuple(frequencies), temperatures_k=temps_k)
+    )
+    results = ac.ac_results
     psrr_db = [-result.magnitude_db("vref") for result in results]
 
     rows = [
@@ -80,7 +88,7 @@ def run() -> ExperimentResult:
     ]
 
     # The w -> 0 anchor at the middle (room) temperature.
-    fd_db = dc_line_regulation_db(temps_k[1])
+    fd_db = dc_line_regulation_db(temps_k[1], session=session)
     ac_low_db = float(psrr_db[1][0])
 
     low_band = frequencies <= 1e3

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ReproError
+from ..errors import ExperimentError, ReproError
 from ..parallel import parallel_map
 
 #: Registered experiment runners, keyed by experiment id.
@@ -61,6 +61,27 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return runner()
 
 
+def _run_attributed(name: str) -> ExperimentResult:
+    """Worker: run one experiment, attributing any failure to its id.
+
+    A raw exception escaping a process-pool worker loses the submitting
+    call site (the traceback points into the pool plumbing), so a batch
+    of twenty experiments used to fail without saying *which* one died.
+    Wrapping here — inside the worker — bakes the experiment id into
+    the exception message itself, which also survives pickling back to
+    the parent (pickled exceptions keep their args, not their chained
+    context).
+    """
+    try:
+        return run_experiment(name)
+    except ExperimentError:
+        raise  # already attributed (e.g. an unknown-name error)
+    except Exception as exc:
+        raise ExperimentError(
+            f"experiment {name!r} failed: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def run_experiments(
     names: Sequence[str], max_workers: Optional[int] = None
 ) -> Dict[str, ExperimentResult]:
@@ -68,12 +89,14 @@ def run_experiments(
 
     Experiments are independent of each other, so the results are
     identical regardless of worker count; unknown names raise through
-    :func:`run_experiment` before any work is dispatched.
+    :func:`run_experiment` before any work is dispatched, and a runner
+    failure surfaces as :class:`~repro.errors.ExperimentError` carrying
+    the failing experiment's id (see :func:`_run_attributed`).
     """
     for name in names:
         if name not in EXPERIMENTS:
             run_experiment(name)  # raises with the known-experiment list
-    results = parallel_map(run_experiment, list(names), max_workers=max_workers)
+    results = parallel_map(_run_attributed, list(names), max_workers=max_workers)
     return dict(zip(names, results))
 
 

@@ -26,8 +26,9 @@ from ..circuits.startup import (
     build_startup_bandgap_cell,
     build_startup_sub1v_cell,
 )
-from ..spice.solver import solve_dc
-from ..spice.transient import TransientOptions, transient_analysis
+from ..spice.plans import OP, Transient
+from ..spice.session import Session
+from ..spice.transient import TransientOptions
 from ..units import kelvin_to_celsius
 from .registry import ExperimentResult, register
 
@@ -46,14 +47,18 @@ STEP_RESIDUAL_TOL = 1e-6
 
 
 def _run_variant(name, build, ramp):
-    circuit = build(ramp)
+    # One session per startup variant: the transient integration and
+    # the post-ramp DC cross-check share the engine lifecycle (the two
+    # solves are keyed by different pinned times, so the dead pre-ramp
+    # state can never warm-start — let alone answer — the powered one).
+    session = Session(build, args=(ramp,), temperature_k=TEMPERATURE_K)
     t_end = ramp.t_on + POST_RAMP_WINDOW
     options = TransientOptions(method="trap", adaptive=True)
-    result = transient_analysis(
-        circuit, t_end, temperature_k=TEMPERATURE_K, options=options
-    )
-    dc = solve_dc(circuit, temperature_k=TEMPERATURE_K, time=t_end)
-    vref_dc = float(dc.x[circuit.node_index("vref")])
+    result = session.run(
+        Transient(t_stop=t_end, temperature_k=TEMPERATURE_K, options=options)
+    ).result
+    dc = session.run(OP(temperature_k=TEMPERATURE_K, time=t_end)).op
+    vref_dc = dc.voltage("vref")
     vref_settled = float(result.voltage("vref")[-1])
     settle = result.settling_time("vref", SETTLE_TOL, final_value=vref_dc)
     # Mid-delay sample when there is a delay, else the t=0 point (the

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..spice.ac import ac_analysis, log_frequencies
-from ..spice.analysis import dc_sweep
+from ..spice.ac import log_frequencies
+from ..spice.plans import ACSweep, DCSweep
+from ..spice.session import Session
 from ..circuits.bandgap_cell import measure_vref
 from .ac_common import C_LOAD, build_zout_cell
 from .registry import ExperimentResult, register
@@ -29,13 +30,19 @@ from .registry import ExperimentResult, register
 ZOUT_F_START, ZOUT_F_STOP = 10.0, 1e7
 
 
-def dc_output_resistance(delta_i: float = 1e-6) -> float:
+def dc_output_resistance(delta_i: float = 1e-6, session: Session = None) -> float:
     """``|dVREF/dI|`` by finite differences on DC solves [ohm].
 
-    One :func:`dc_sweep` of the test current source — shared system,
-    warm-started second point — instead of two cold solves.
+    One ``DCSweep`` of the test current source — shared session, and
+    when the caller passes its own session the probe points warm-start
+    from the AC analysis's cached operating point (the +-1 uA nudge
+    sits well inside the warm-start band), skipping the cold
+    gain-stepping ladder entirely.
     """
-    sweep = dc_sweep(build_zout_cell(), "ITEST", [-delta_i, +delta_i])
+    session = session or Session(build_zout_cell)
+    sweep = session.run(
+        DCSweep(source="ITEST", values=(-delta_i, +delta_i))
+    )
     low, high = (measure_vref(point) for point in sweep.points)
     return abs(high - low) / (2.0 * delta_i)
 
@@ -43,7 +50,10 @@ def dc_output_resistance(delta_i: float = 1e-6) -> float:
 @register("zout_vref")
 def run() -> ExperimentResult:
     frequencies = log_frequencies(ZOUT_F_START, ZOUT_F_STOP, points_per_decade=4)
-    result = ac_analysis(build_zout_cell(), frequencies)
+    # One session serves the AC sweep AND the finite-difference anchor:
+    # the second analysis warm-starts from the first's cached op.
+    session = Session(build_zout_cell)
+    result = session.run(ACSweep(frequencies_hz=tuple(frequencies))).ac_results[0]
     impedance = np.abs(result.phasor("vref"))
     phase_deg = result.phase_deg("vref")
 
@@ -56,7 +66,7 @@ def run() -> ExperimentResult:
         for i, frequency in enumerate(frequencies)
     ]
 
-    zout_dc_fd = dc_output_resistance()
+    zout_dc_fd = dc_output_resistance(session=session)
     zout_dc_ac = float(impedance[0])
     peak_index = int(np.argmax(impedance))
     peak = float(impedance[peak_index])

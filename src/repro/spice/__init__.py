@@ -21,7 +21,15 @@ offline, this package implements the needed subset from scratch:
 * :mod:`repro.spice.thermal` — the electro-thermal self-heating loop
   behind the paper's sensor-vs-die temperature discrepancy (Table 1);
 * :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser
-  (including PULSE/PWL/SIN time-varying sources).
+  (including PULSE/PWL/SIN time-varying sources);
+* :mod:`repro.spice.plans` / :mod:`repro.spice.session` — the unified
+  Session API: declarative analysis plans (``OP``, ``DCSweep``,
+  ``TempSweep``, ``ACSweep``, ``Transient``, ``MonteCarlo``) run by a
+  :class:`~repro.spice.session.Session` that owns one engine lifecycle
+  per topology and a cross-analysis solved-point warm-start cache.
+  The per-analysis entry points above (``operating_point``,
+  ``temperature_sweep``, ``ac_analysis``, ``transient_analysis``, the
+  chain/batch layer) remain as deprecated delegating shims.
 """
 
 from .netlist import Circuit, GROUND
@@ -54,6 +62,28 @@ from .ac import (
     log_frequencies,
 )
 from .transient import TransientOptions, TransientResult, transient_analysis
+from .plans import (
+    ACSweep,
+    AnalysisPlan,
+    DCSweep,
+    MonteCarlo,
+    OP,
+    PlanError,
+    TempSweep,
+    Transient,
+)
+from .session import (
+    ACSweepResult,
+    AnalysisResult,
+    DCSweepResult,
+    MonteCarloResult,
+    OPResult,
+    Session,
+    SessionRecipe,
+    TempSweepResult,
+    TransientRunResult,
+    run_plans,
+)
 from .thermal import ThermalSolution, solve_with_self_heating
 from .parser import parse_netlist
 
@@ -90,6 +120,24 @@ __all__ = [
     "TransientOptions",
     "TransientResult",
     "transient_analysis",
+    "AnalysisPlan",
+    "OP",
+    "DCSweep",
+    "TempSweep",
+    "ACSweep",
+    "Transient",
+    "MonteCarlo",
+    "PlanError",
+    "Session",
+    "SessionRecipe",
+    "run_plans",
+    "AnalysisResult",
+    "OPResult",
+    "DCSweepResult",
+    "TempSweepResult",
+    "ACSweepResult",
+    "TransientRunResult",
+    "MonteCarloResult",
     "ThermalSolution",
     "solve_with_self_heating",
     "parse_netlist",

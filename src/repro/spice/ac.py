@@ -33,13 +33,11 @@ frequency-independent), sparse ``splu`` above the size threshold, and a
 :data:`repro.spice.stats.STATS` (``ac_solves`` / ``ac_factorizations``
 / ``ac_factor_reuses``) so ``--bench`` reports the reuse rate.
 
-:class:`ACSweepChain` / :func:`ac_solve_batch` are the batch layer,
-mirroring :class:`~repro.spice.analysis.SweepChain` /
-:func:`~repro.spice.analysis.solve_batch`: each chain is a picklable
-circuit recipe swept over temperatures (one re-temperatured
-:class:`MNASystem`, warm-started DC points, one AC sweep per point) and
-independent chains fan out across processes via
-:func:`repro.parallel.parallel_map`.
+:class:`ACSweepChain` / :func:`ac_solve_batch` are the legacy batch
+layer, kept as deprecated shims over the Session API
+(:mod:`repro.spice.session`): each chain becomes a
+``(SessionRecipe, plans.ACSweep)`` pair and fans out through
+:func:`repro.spice.session.run_plans`.
 """
 
 from __future__ import annotations
@@ -50,7 +48,6 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import NetlistError
-from ..parallel import parallel_map
 from .analysis import ACResult, OperatingPoint, _wrap_point
 from .elements.base import ACStamp
 from .mna import MNASystem
@@ -338,11 +335,23 @@ def ac_analysis(
     options: Optional[SolverOptions] = None,
     x0: Optional[np.ndarray] = None,
 ) -> ACResult:
-    """One-shot AC sweep: DC operating point, linearise, sweep."""
-    ac_system = ACSystem.from_circuit(
-        circuit, temperature_k=temperature_k, options=options, x0=x0
-    )
-    return ac_system.solve(frequencies_hz)
+    """One-shot AC sweep: DC operating point, linearise, sweep.
+
+    .. deprecated::
+        Delegates to ``Session(circuit).run(plans.ACSweep(...))``; use
+        the Session API directly so the operating point lands in (and
+        can come from) the session's solved-point cache.
+    """
+    from .plans import ACSweep
+    from .session import Session, _warn_legacy
+
+    _warn_legacy("ac_analysis", "Session.run(plans.ACSweep(...))")
+    grid = np.asarray(frequencies_hz, dtype=float)
+    if grid.ndim != 1 or len(grid) == 0:
+        raise NetlistError("AC analysis needs a 1-D, non-empty frequency grid")
+    session = Session(circuit, options=options, temperature_k=temperature_k)
+    plan = ACSweep(frequencies_hz=tuple(grid), temperatures_k=(temperature_k,))
+    return session.run(plan, x0=x0).ac_results[0]
 
 
 # ----------------------------------------------------------------------
@@ -353,13 +362,17 @@ def ac_analysis(
 class ACSweepChain:
     """One temperature chain of AC sweeps, as a picklable recipe.
 
+    .. deprecated::
+        The Session API replaces AC chains with
+        ``(SessionRecipe, plans.ACSweep)`` pairs submitted to
+        :func:`repro.spice.session.run_plans` (or a single
+        ``Session.run(plans.ACSweep(...))`` for one topology).
+
     ``builder(*args, **kwargs)`` returns the circuit (a recipe, not an
     instance — circuits hold closures that cannot cross process
-    boundaries).  Within the chain one :class:`MNASystem` is built and
-    re-temperatured per point, DC points warm-start each other, and
-    each solved point gets one AC sweep over ``frequencies_hz``; across
-    chains everything is independent, which is what
-    :func:`ac_solve_batch` fans out.
+    boundaries).  Within the chain one system is re-temperatured per
+    point, DC points warm-start each other, and each solved point gets
+    one AC sweep over ``frequencies_hz``.
     """
 
     builder: Callable[..., Circuit]
@@ -370,43 +383,37 @@ class ACSweepChain:
     label: str = "ac"
     options: Optional[SolverOptions] = None
 
+    def __post_init__(self):
+        from .session import _warn_legacy
+
+        _warn_legacy("ACSweepChain", "(SessionRecipe, plans.ACSweep) pairs")
+
     def build(self) -> Circuit:
         return self.builder(*self.args, **dict(self.kwargs))
+
+    def _session_pair(self):
+        from .plans import ACSweep
+        from .session import SessionRecipe
+
+        return (
+            SessionRecipe(
+                builder=self.builder,
+                args=tuple(self.args),
+                kwargs=tuple(sorted(dict(self.kwargs).items())),
+                options=self.options,
+            ),
+            ACSweep(
+                frequencies_hz=tuple(self.frequencies_hz),
+                temperatures_k=tuple(self.temperatures_k),
+            ),
+        )
 
 
 def solve_ac_chain(chain: ACSweepChain) -> List[ACResult]:
     """Run one chain in-process: one re-temperatured system, one AC
-    sweep per temperature."""
-    circuit = chain.build()
-    options = chain.options or SolverOptions()
-    system = MNASystem(circuit, temperature_k=float(chain.temperatures_k[0]))
-    workspace = NewtonWorkspace()
-    results: List[ACResult] = []
-    x_prev: Optional[np.ndarray] = None
-    for temperature in chain.temperatures_k:
-        system.set_temperature(float(temperature))
-        raw = solve_dc_system(
-            system, options=options, x0=x_prev, workspace=workspace
-        )
-        x_prev = raw.x
-        ac_system = ACSystem(
-            system, raw.x, options=options,
-            op=_wrap_point(circuit, temperature, raw),
-        )
-        results.append(ac_system.solve(chain.frequencies_hz))
-    return results
-
-
-def _solve_ac_chain_payload(chain: ACSweepChain) -> dict:
-    """Worker: run one chain, return plain arrays (picklable payload)."""
-    results = solve_ac_chain(chain)
-    return {
-        "ac": np.stack([result.x for result in results]),
-        "op_x": np.stack([result.op.x for result in results]),
-        "iterations": [result.op.iterations for result in results],
-        "residuals": [result.op.residual for result in results],
-        "strategies": [result.op.strategy for result in results],
-    }
+    sweep per temperature (engine-level helper, Session-backed)."""
+    recipe, plan = chain._session_pair()
+    return recipe.build().run(plan).ac_results
 
 
 def ac_solve_batch(
@@ -415,37 +422,18 @@ def ac_solve_batch(
 ) -> List[List[ACResult]]:
     """Solve many AC chains, fanning independent chains over processes.
 
-    Mirrors :func:`repro.spice.analysis.solve_batch`: within a chain the
-    temperature ordering is load-bearing (warm starts), across chains
-    everything is independent, and the result is identical to running
-    the chains serially.  Returns one list of :class:`ACResult` per
-    chain, ordered like the chain's temperature grid.
+    .. deprecated::
+        Delegates to :func:`repro.spice.session.run_plans` (one fresh
+        session per chain, preserving the legacy no-sharing semantics:
+        results are identical to solving every chain serially,
+        regardless of worker count).  Returns one list of
+        :class:`ACResult` per chain, ordered like the chain's
+        temperature grid.
     """
-    payloads = parallel_map(
-        _solve_ac_chain_payload, list(chains), max_workers=max_workers
-    )
-    batches: List[List[ACResult]] = []
-    for chain, payload in zip(chains, payloads):
-        # Rehydrate against a parent-side circuit so name-based
-        # accessors work (the worker's circuit never crosses back).
-        circuit = chain.build()
-        freqs = np.asarray(chain.frequencies_hz, dtype=float)
-        results = [
-            ACResult(
-                circuit=circuit,
-                temperature_k=float(temperature),
-                frequencies_hz=freqs,
-                x=payload["ac"][index],
-                op=OperatingPoint(
-                    circuit=circuit,
-                    temperature_k=float(temperature),
-                    x=payload["op_x"][index],
-                    iterations=payload["iterations"][index],
-                    residual=payload["residuals"][index],
-                    strategy=payload["strategies"][index],
-                ),
-            )
-            for index, temperature in enumerate(chain.temperatures_k)
-        ]
-        batches.append(results)
-    return batches
+    from .session import _warn_legacy, run_plans
+
+    _warn_legacy("ac_solve_batch", "session.run_plans(...)")
+    chains = list(chains)
+    pairs = [chain._session_pair() for chain in chains]
+    results = run_plans(pairs, workers=max_workers, share_sessions=False)
+    return [result.ac_results for result in results]

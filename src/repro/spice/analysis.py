@@ -1,14 +1,21 @@
-"""DC analyses: operating point, source sweeps, temperature sweeps.
+"""DC analysis result containers and the legacy entry-point shims.
 
-Temperature sweeps warm-start each point from the previous solution —
-both a large speed win and a robustness win for the bandgap cell, whose
-op-amp loop has a far smaller basin of attraction from a cold start.
+The result classes (:class:`OperatingPoint`, :class:`SweepResult`,
+:class:`ACResult`) are the engine's shared containers — the Session API
+(:mod:`repro.spice.session`) wraps them into its uniform
+:class:`~repro.spice.session.AnalysisResult` hierarchy.
 
-:func:`solve_batch` is the batch layer on top: it takes a set of
-*chains* — each a picklable circuit recipe plus a condition grid, solved
-with warm-start chaining — and fans independent chains out across
-processes (:mod:`repro.parallel`).  Sweep-style experiments (fig8's
-configuration family, Monte-Carlo lots) are exactly such batches.
+The callable entry points here (:func:`operating_point`,
+:func:`dc_sweep`, :func:`temperature_sweep`, :class:`SweepChain` /
+:func:`solve_batch`) are **deprecated delegating shims**: each forwards
+to the Session planner (``Session.run`` with the matching declarative
+plan) and emits exactly one :class:`DeprecationWarning` per call,
+keeping the legacy signatures and return types intact for external
+callers.  New code should build a
+:class:`~repro.spice.session.Session` and submit
+:mod:`~repro.spice.plans` instead — that is what unlocks the
+solved-point cache (warm starts across analyses) the shims' one-shot
+sessions cannot share.
 """
 
 from __future__ import annotations
@@ -19,16 +26,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import NetlistError
-from ..parallel import parallel_map
-from .mna import MNASystem
 from .netlist import Circuit
-from .solver import (
-    NewtonWorkspace,
-    RawSolution,
-    SolverOptions,
-    solve_dc,
-    solve_dc_system,
-)
+from .solver import RawSolution, SolverOptions
 
 
 @dataclass
@@ -85,16 +84,19 @@ def operating_point(
     options: Optional[SolverOptions] = None,
     x0: Optional[np.ndarray] = None,
 ) -> OperatingPoint:
-    """Solve and wrap a single DC operating point."""
-    raw = solve_dc(circuit, temperature_k=temperature_k, options=options, x0=x0)
-    return OperatingPoint(
-        circuit=circuit,
-        temperature_k=temperature_k,
-        x=raw.x,
-        iterations=raw.iterations,
-        residual=raw.residual,
-        strategy=raw.strategy,
-    )
+    """Solve and wrap a single DC operating point.
+
+    .. deprecated::
+        Delegates to ``Session(circuit).run(plans.OP(...))``; use the
+        Session API directly to share the solved-point cache across
+        analyses.
+    """
+    from .plans import OP
+    from .session import Session, _warn_legacy
+
+    _warn_legacy("operating_point", "Session.run(plans.OP(...))")
+    session = Session(circuit, options=options, temperature_k=temperature_k)
+    return session.run(OP(temperature_k=temperature_k), x0=x0).op
 
 
 def dc_sweep(
@@ -106,31 +108,32 @@ def dc_sweep(
 ) -> SweepResult:
     """Sweep the DC value of a V/I source, warm-starting each point.
 
-    The source's ``dc`` attribute is restored afterwards.  One
-    :class:`MNASystem` (and one Newton workspace) serves every point —
-    the compiled caches are invalidated after each value mutation, but
-    bindings and the previous point's LU factorization carry over.
+    .. deprecated::
+        Delegates to ``Session(circuit).run(plans.DCSweep(...))``.
+
+    The source's ``dc`` attribute is restored afterwards.  One system
+    (and one Newton workspace) serves every point — the compiled caches
+    are invalidated after each value mutation, but bindings and the
+    previous point's LU factorization carry over.
     """
-    element = circuit.element(source_name)
+    from .plans import DCSweep
+    from .session import Session, _warn_legacy
+
+    _warn_legacy("dc_sweep", "Session.run(plans.DCSweep(...))")
+    element = circuit.element(source_name)  # raises for unknown names
     if not hasattr(element, "dc"):
         raise NetlistError(f"{source_name} is not an independent source")
-    original = element.dc
-    system = MNASystem(circuit, temperature_k=temperature_k)
-    workspace = NewtonWorkspace()
-    points: List[OperatingPoint] = []
-    x_prev: Optional[np.ndarray] = None
-    try:
-        for value in values:
-            element.dc = float(value)
-            system.invalidate()  # the source value lives in cached b_lin
-            raw = solve_dc_system(
-                system, options=options, x0=x_prev, workspace=workspace
-            )
-            points.append(_wrap_point(circuit, temperature_k, raw))
-            x_prev = raw.x
-    finally:
-        element.dc = original
-    return SweepResult(parameter=source_name, values=np.asarray(values, float), points=points)
+    if not len(values):  # legacy nicety: empty grid -> empty result
+        return SweepResult(
+            parameter=source_name, values=np.asarray([], float), points=[]
+        )
+    session = Session(circuit, options=options, temperature_k=temperature_k)
+    plan = DCSweep(
+        source=source_name,
+        values=tuple(float(v) for v in values),
+        temperature_k=temperature_k,
+    )
+    return session.run(plan).sweep
 
 
 def _wrap_point(
@@ -153,33 +156,34 @@ def temperature_sweep(
 ) -> SweepResult:
     """Solve the circuit across a temperature list (paper Fig. 8 style).
 
-    One :class:`MNASystem` is built for the whole sweep and
-    re-temperatured per point (:meth:`MNASystem.set_temperature`), and
-    one Newton workspace follows it — so a warm-started point can
-    converge on the previous temperature's factorization instead of
-    paying a rebuild plus a fresh LU at every point.
+    .. deprecated::
+        Delegates to ``Session(circuit).run(plans.TempSweep(...))`` —
+        one re-temperatured system, one workspace, warm-start chaining,
+        exactly as before, plus the session's solved-point cache.
     """
-    if not len(temperatures_k):
-        return SweepResult(parameter="temperature", values=np.asarray([], float), points=[])
-    system = MNASystem(circuit, temperature_k=float(temperatures_k[0]))
-    workspace = NewtonWorkspace()
-    points: List[OperatingPoint] = []
-    x_prev: Optional[np.ndarray] = None
-    for temperature in temperatures_k:
-        system.set_temperature(float(temperature))
-        raw = solve_dc_system(system, options=options, x0=x_prev, workspace=workspace)
-        points.append(_wrap_point(circuit, temperature, raw))
-        x_prev = raw.x
-    return SweepResult(
-        parameter="temperature",
-        values=np.asarray(temperatures_k, float),
-        points=points,
+    from .plans import TempSweep
+    from .session import Session, _warn_legacy
+
+    _warn_legacy("temperature_sweep", "Session.run(plans.TempSweep(...))")
+    if not len(temperatures_k):  # legacy nicety: empty grid -> empty result
+        return SweepResult(
+            parameter="temperature", values=np.asarray([], float), points=[]
+        )
+    session = Session(
+        circuit, options=options, temperature_k=float(temperatures_k[0])
     )
+    plan = TempSweep(temperatures_k=tuple(float(t) for t in temperatures_k))
+    return session.run(plan).sweep
 
 
 @dataclass(frozen=True)
 class SweepChain:
     """One warm-start chain of DC solves, as a picklable recipe.
+
+    .. deprecated::
+        The Session API replaces chains with
+        ``(SessionRecipe, plans.TempSweep)`` pairs submitted to
+        :func:`repro.spice.session.run_plans`.
 
     ``builder(*args, **kwargs)`` must return the :class:`Circuit` to
     solve — a *recipe* rather than a circuit instance, because circuits
@@ -197,25 +201,13 @@ class SweepChain:
     label: str = "temperature"
     options: Optional[SolverOptions] = None
 
+    def __post_init__(self):
+        from .session import _warn_legacy
+
+        _warn_legacy("SweepChain", "(SessionRecipe, plans.TempSweep) pairs")
+
     def build(self) -> Circuit:
         return self.builder(*self.args, **dict(self.kwargs))
-
-
-def _solve_chain(chain: SweepChain) -> dict:
-    """Worker: run one chain, return plain arrays (picklable payload).
-
-    The solved circuit object never crosses back to the parent — only
-    the unknown vectors and per-point diagnostics do, so chains whose
-    circuits hold closures still fan out fine.
-    """
-    circuit = chain.build()
-    sweep = temperature_sweep(circuit, chain.temperatures_k, options=chain.options)
-    return {
-        "x": np.stack([point.x for point in sweep.points]),
-        "iterations": [point.iterations for point in sweep.points],
-        "residuals": [point.residual for point in sweep.points],
-        "strategies": [point.strategy for point in sweep.points],
-    }
 
 
 def solve_batch(
@@ -224,37 +216,38 @@ def solve_batch(
 ) -> List[SweepResult]:
     """Solve many warm-start chains, fanning out across processes.
 
-    Within a chain, points are solved sequentially (each warm-starts
-    the next — that ordering is load-bearing for convergence); across
-    chains everything is independent, which is where the
-    ``concurrent.futures`` fan-out buys wall-clock time on multi-core
-    hosts.  Results are identical to running every chain serially.
+    .. deprecated::
+        Delegates to :func:`repro.spice.session.run_plans` (one fresh
+        session per chain, preserving the legacy no-sharing semantics
+        so results stay identical to per-chain ``temperature_sweep``
+        runs regardless of worker count).
     """
-    payloads = parallel_map(_solve_chain, list(chains), max_workers=max_workers)
-    results: List[SweepResult] = []
-    for chain, payload in zip(chains, payloads):
-        # Rehydrate against a parent-side circuit instance so the
-        # name-based accessors of SweepResult/OperatingPoint work.
-        circuit = chain.build()
-        points = [
-            OperatingPoint(
-                circuit=circuit,
-                temperature_k=float(temperature),
-                x=payload["x"][index],
-                iterations=payload["iterations"][index],
-                residual=payload["residuals"][index],
-                strategy=payload["strategies"][index],
-            )
-            for index, temperature in enumerate(chain.temperatures_k)
-        ]
-        results.append(
-            SweepResult(
-                parameter=chain.label,
-                values=np.asarray(chain.temperatures_k, float),
-                points=points,
-            )
+    from .plans import TempSweep
+    from .session import SessionRecipe, _warn_legacy, run_plans
+
+    _warn_legacy("solve_batch", "session.run_plans(...)")
+    chains = list(chains)
+    pairs = [
+        (
+            SessionRecipe(
+                builder=chain.builder,
+                args=tuple(chain.args),
+                kwargs=tuple(sorted(dict(chain.kwargs).items())),
+                options=chain.options,
+            ),
+            TempSweep(temperatures_k=tuple(chain.temperatures_k)),
         )
-    return results
+        for chain in chains
+    ]
+    results = run_plans(pairs, workers=max_workers, share_sessions=False)
+    return [
+        SweepResult(
+            parameter=chain.label,
+            values=np.asarray(chain.temperatures_k, float),
+            points=result.points,
+        )
+        for chain, result in zip(chains, results)
+    ]
 
 
 # ----------------------------------------------------------------------

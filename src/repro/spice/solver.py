@@ -436,17 +436,19 @@ def solve_dc(
     the transient engine uses it to compute the pre-ramp initial point
     and the post-ramp reference operating point.
 
-    Builds a fresh :class:`MNASystem` per call, which makes mutating
-    element values between calls safe; sweeps that solve one topology
-    many times should build the system once and go through
-    :func:`solve_dc_system` instead.
+    Routes through a short-lived
+    :class:`~repro.spice.session.Session`, so the one-shot safety
+    contract lives in one place: the session builds a fresh
+    :class:`MNASystem` at construction, which is what makes mutating
+    element values *between* ``solve_dc`` calls safe.  Workloads that
+    solve one topology many times should keep a session of their own
+    (the solved-point cache then warm-starts nearby points) or go
+    through :func:`solve_dc_system` with a caller-owned system.
     """
-    return solve_dc_system(
-        MNASystem(circuit, temperature_k=temperature_k),
-        options=options,
-        x0=x0,
-        time=time,
-    )
+    from .session import Session
+
+    session = Session(circuit, options=options, temperature_k=temperature_k)
+    return session.solve_raw(temperature_k=temperature_k, x0=x0, time=time)
 
 
 def solve_dc_system(

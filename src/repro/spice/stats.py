@@ -54,6 +54,16 @@ class SolverStats:
     #: AC solves served by a reused factorization (purely resistive
     #: sweeps factor once for the whole frequency grid).
     ac_factor_reuses: int = 0
+    #: Session solved-point cache: exact hits (a previously solved
+    #: identical point returned with no Newton run at all).
+    op_cache_hits: int = 0
+    #: Session solved-point cache: solves warm-started from the nearest
+    #: cached point — the ones that skip the cold gain-stepping ladder.
+    op_cache_warm_starts: int = 0
+    #: Session solved-point cache: cold solves (no usable cached point).
+    op_cache_misses: int = 0
+    #: Analysis plans executed through ``Session.run``.
+    session_plans: int = 0
     #: Successful DC strategies, keyed by ``RawSolution.strategy``.
     strategies: Dict[str, int] = field(default_factory=dict)
 
@@ -75,6 +85,10 @@ class SolverStats:
         self.ac_solves = 0
         self.ac_factorizations = 0
         self.ac_factor_reuses = 0
+        self.op_cache_hits = 0
+        self.op_cache_warm_starts = 0
+        self.op_cache_misses = 0
+        self.session_plans = 0
         self.strategies = {}
 
     def as_dict(self) -> Dict[str, object]:
@@ -94,6 +108,10 @@ class SolverStats:
             "ac_solves": self.ac_solves,
             "ac_factorizations": self.ac_factorizations,
             "ac_factor_reuses": self.ac_factor_reuses,
+            "op_cache_hits": self.op_cache_hits,
+            "op_cache_warm_starts": self.op_cache_warm_starts,
+            "op_cache_misses": self.op_cache_misses,
+            "session_plans": self.session_plans,
             "strategies": dict(self.strategies),
         }
 

@@ -26,8 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConvergenceError
-from .analysis import OperatingPoint, operating_point
-from .mna import MNASystem
+from .analysis import OperatingPoint, _wrap_point
 from .netlist import Circuit
 from .solver import SolverOptions
 
@@ -69,17 +68,23 @@ def solve_with_self_heating(
         Under-relaxation factor on the temperature update (1.0 = full
         step); 0.8 keeps the loop stable even where dP/dT is unfavourable.
     """
+    from .session import Session
+
     if rth_k_per_w < 0.0:
         raise ConvergenceError("thermal resistance must be non-negative")
+    # One session for the whole fixed-point loop: the system is
+    # re-temperatured in place per iteration (the legacy loop rebuilt
+    # TWO systems per iteration — one to solve, one for the power sum).
+    session = Session(circuit, options=options, temperature_k=ambient_k)
     die_k = ambient_k
     point: Optional[OperatingPoint] = None
     power = 0.0
     x_prev = x0
     for iteration in range(1, max_iterations + 1):
-        point = operating_point(circuit, temperature_k=die_k, options=options, x0=x_prev)
+        raw = session.solve_raw(temperature_k=die_k, x0=x_prev)
+        point = _wrap_point(circuit, die_k, raw)
         x_prev = point.x
-        system = MNASystem(circuit, temperature_k=die_k)
-        power = system.total_source_power(point.x)
+        power = session.system.total_source_power(point.x)
         target = ambient_k + rth_k_per_w * max(power, 0.0)
         delta = target - die_k
         if abs(delta) < tol_k:

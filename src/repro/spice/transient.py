@@ -42,7 +42,7 @@ from .analysis import OperatingPoint
 from .elements.base import DynamicState, TransientContext
 from .mna import MNASystem
 from .netlist import Circuit
-from .solver import NewtonWorkspace, SolverOptions, _newton, solve_dc
+from .solver import NewtonWorkspace, RawSolution, SolverOptions, _newton
 
 #: Integration order of each method (for the step-growth exponent).
 _METHOD_ORDER = {"be": 1, "trap": 2}
@@ -262,11 +262,54 @@ def transient_analysis(
 ) -> TransientResult:
     """Integrate the circuit from ``t_start`` to ``t_stop``.
 
+    .. deprecated::
+        Delegates to the Session API —
+        ``Session(circuit).run(plans.Transient(t_stop=...))`` — which
+        owns the engine lifecycle (one system, one solved-point cache)
+        and lets a transient share its warm-start state with every
+        other analysis of the same topology.  This shim keeps the
+        legacy signature and return type for external callers.
+
     The initial condition is the DC operating point at ``t_start``
     (waveform sources pinned to their value there, capacitors open) —
     pass ``x0`` to warm-start that solve.  Raises
     :class:`ConvergenceError` if any step cannot be completed above the
     minimum timestep.
+    """
+    from .session import Session, _warn_legacy
+    from .plans import Transient
+
+    _warn_legacy("transient_analysis", "Session.run(plans.Transient(...))")
+    session = Session(circuit, temperature_k=temperature_k)
+    plan = Transient(
+        t_stop=float(t_stop),
+        t_start=float(t_start),
+        temperature_k=temperature_k,
+        options=options,
+    )
+    return session.run(plan, x0=x0).result
+
+
+def run_transient_system(
+    circuit: Circuit,
+    system: MNASystem,
+    workspace: NewtonWorkspace,
+    initial: RawSolution,
+    t_stop: float,
+    options: Optional[TransientOptions] = None,
+    t_start: float = 0.0,
+) -> TransientResult:
+    """Integrate on a caller-owned system from a solved initial point.
+
+    The engine-level entry the Session layer drives: the caller owns
+    the :class:`MNASystem` (already at the run's temperature), the
+    Newton ``workspace`` that will carry LU reuse across timesteps, and
+    the solved DC point ``initial`` at ``t_start`` (waveform sources
+    pinned there, capacitors open).  One workspace for the whole run:
+    the LU from a previous timestep (or iteration) is reused while it
+    still contracts the residual — across the many small steps of a
+    settled waveform, most factorizations are redundant and the reuse
+    guard keeps the stiff snap-on intervals on fresh Jacobians.
     """
     if t_stop <= t_start:
         raise NetlistError("t_stop must exceed t_start")
@@ -284,20 +327,7 @@ def transient_analysis(
     next_breakpoint = 0  # index of the first breakpoint still ahead
     order_exponent = 1.0 / (_METHOD_ORDER[options.method] + 1.0)
 
-    system = MNASystem(circuit, temperature_k=temperature_k)
-    # One workspace for the whole run: the LU from a previous timestep
-    # (or iteration) is reused while it still contracts the residual —
-    # across the many small steps of a settled waveform, most
-    # factorizations are redundant and the reuse guard keeps the stiff
-    # snap-on intervals on fresh Jacobians.
-    workspace = NewtonWorkspace()
-    initial = solve_dc(
-        circuit,
-        temperature_k=temperature_k,
-        options=options.newton,
-        x0=x0,
-        time=t_start,
-    )
+    temperature_k = system.temperature_k
     x = initial.x
     dynamic = [el for el in circuit.elements if el.is_dynamic]
     states: Dict[str, DynamicState] = {

@@ -19,6 +19,12 @@ from repro.errors import NetlistError
 from repro.spice import operating_point, temperature_sweep
 from repro.units import celsius_to_kelvin
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 IDEAL = BandgapCellConfig(substrate_unit=None)
 
 

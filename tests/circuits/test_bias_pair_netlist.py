@@ -6,6 +6,12 @@ from repro.bjt import BJTParameters, MatchedPair, SubstratePNP
 from repro.circuits.bias_pair import BiasedPair, BiasPairConfig, build_bias_pair_circuit
 from repro.spice import operating_point
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 
 def make_biased(with_leakage=False, ratio=1.0):
     params = BJTParameters()

@@ -8,6 +8,12 @@ from repro.circuits.bandgap_cell import measure_vref
 from repro.spice import temperature_sweep
 from repro.units import celsius_to_kelvin
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 TEMPS = [celsius_to_kelvin(t) for t in (-80, -55, -30, -5, 20, 45, 70, 95, 120, 145)]
 
 

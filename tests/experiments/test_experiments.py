@@ -99,6 +99,46 @@ class TestSpecificNumbers:
         assert temps[-1] == 450.0
 
 
+class TestRunExperimentsErrorAttribution:
+    """A worker failure must carry the failing experiment's id."""
+
+    def test_failure_names_the_experiment(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.registry import EXPERIMENTS, register, run_experiments
+
+        @register("_failing_probe")
+        def _fail():
+            raise ValueError("boom")
+
+        try:
+            with pytest.raises(ExperimentError, match="_failing_probe.*boom"):
+                run_experiments(["_failing_probe"])
+        finally:
+            del EXPERIMENTS["_failing_probe"]
+
+    def test_failure_attributed_across_the_process_pool(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.registry import EXPERIMENTS, register, run_experiments
+
+        @register("_failing_probe_pool")
+        def _fail():
+            raise ValueError("boom in worker")
+
+        try:
+            # Two items + two workers forces the pool path; the
+            # attributed message must survive the pickle round trip.
+            with pytest.raises(ExperimentError, match="_failing_probe_pool"):
+                run_experiments(["fig1", "_failing_probe_pool"], max_workers=2)
+        finally:
+            del EXPERIMENTS["_failing_probe_pool"]
+
+    def test_unknown_name_still_lists_registry(self):
+        from repro.experiments.registry import run_experiments
+
+        with pytest.raises(ReproError, match="known:"):
+            run_experiments(["fig1", "no_such_experiment"])
+
+
 class TestReportRendering:
     def test_render_result(self, all_results):
         from repro.experiments import render_result

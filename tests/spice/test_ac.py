@@ -12,7 +12,14 @@ import pytest
 #: The AC linearisation (G from the compiled Jacobian, C from grouped
 #: or scalar ac_stamp) runs on both evaluator paths via the conftest
 #: fixture.
-pytestmark = pytest.mark.usefixtures("device_eval_path")
+pytestmark = [
+    pytest.mark.usefixtures("device_eval_path"),
+    # Deliberate legacy-entry-point coverage: the Session-API
+    # deprecation warning is expected here.
+    pytest.mark.filterwarnings(
+        "ignore:.*deprecated since the Session API:DeprecationWarning"
+    ),
+]
 
 from repro.errors import NetlistError
 from repro.spice import (

@@ -16,6 +16,13 @@ from repro.spice import (
     temperature_sweep,
 )
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
+
 
 def diode_circuit():
     c = Circuit()

@@ -6,6 +6,12 @@ from repro.errors import NetlistError
 from repro.spice import Circuit, Resistor, VoltageSource, operating_point
 from repro.spice.elements.controlled import CCCS, CCVS
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 
 def sense_circuit():
     """1 mA through V-sense (V1 drives 1 V into 1 kOhm)."""

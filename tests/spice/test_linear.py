@@ -15,6 +15,12 @@ from repro.spice import (
     operating_point,
 )
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 
 class TestVoltageDivider:
     def test_midpoint(self):
@@ -74,6 +80,7 @@ class TestKirchhoff:
     def test_kcl_residual_is_zero(self, r, i):
         # Conservation: the solved point satisfies KCL to solver tolerance.
         from repro.spice.mna import MNASystem
+
 
         c = Circuit()
         c.add(CurrentSource("I1", "0", "a", i))

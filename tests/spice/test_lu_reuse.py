@@ -11,7 +11,14 @@ import pytest
 
 #: Run the whole reuse/sparse contract on both device-evaluator paths
 #: (the conftest fixture flips REPRO_VECTORIZED).
-pytestmark = pytest.mark.usefixtures("device_eval_path")
+pytestmark = [
+    pytest.mark.usefixtures("device_eval_path"),
+    # Deliberate legacy-entry-point coverage: the Session-API
+    # deprecation warning is expected here.
+    pytest.mark.filterwarnings(
+        "ignore:.*deprecated since the Session API:DeprecationWarning"
+    ),
+]
 
 from repro.circuits.bandgap_cell import build_bandgap_cell
 from repro.circuits.startup import StartupRampConfig, build_startup_bandgap_cell

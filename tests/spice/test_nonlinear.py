@@ -21,6 +21,12 @@ from repro.spice import (
 from repro.spice.elements.base import limited_exp
 from repro.spice.elements.bjt import SpiceBJT, add_bjt
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 
 class TestLimitedExp:
     def test_identity_below_cap(self):

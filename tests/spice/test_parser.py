@@ -6,6 +6,12 @@ from repro.errors import NetlistError
 from repro.spice import operating_point, parse_netlist
 from repro.spice.elements import Capacitor, OpAmp, Resistor, VCCS, VCVS
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 
 class TestBasicParsing:
     def test_divider(self):

@@ -24,6 +24,12 @@ from repro.spice import (
 from repro.spice.elements.bjt import SpiceBJT
 from repro.spice.mna import MNASystem
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 resistances = st.floats(min_value=10.0, max_value=1e6)
 sources = st.floats(min_value=-50.0, max_value=50.0)
 

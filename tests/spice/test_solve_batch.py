@@ -13,6 +13,12 @@ from repro.parallel import parallel_map, resolve_workers
 from repro.spice.analysis import SweepChain, solve_batch, temperature_sweep
 from repro.units import celsius_to_kelvin
 
+# This module exercises the deprecated legacy entry points on purpose
+# (they are the shim-path coverage); the Session-API warning is expected.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
+
 TEMPS = tuple(celsius_to_kelvin(t) for t in (-20.0, 25.0, 85.0))
 
 

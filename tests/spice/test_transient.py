@@ -7,7 +7,14 @@ import pytest
 
 #: Integration accuracy and step control must be identical on both
 #: device-evaluator paths (the conftest fixture flips REPRO_VECTORIZED).
-pytestmark = pytest.mark.usefixtures("device_eval_path")
+pytestmark = [
+    pytest.mark.usefixtures("device_eval_path"),
+    # Deliberate legacy-entry-point coverage: the Session-API
+    # deprecation warning is expected here.
+    pytest.mark.filterwarnings(
+        "ignore:.*deprecated since the Session API:DeprecationWarning"
+    ),
+]
 
 from repro.errors import NetlistError
 from repro.spice import (

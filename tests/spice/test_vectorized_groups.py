@@ -276,6 +276,9 @@ def test_solve_lands_on_same_point_both_paths():
     assert vec.x == pytest.approx(sca.x, abs=1e-9)
 
 
+@pytest.mark.filterwarnings(
+    "ignore:.*deprecated since the Session API:DeprecationWarning"
+)
 def test_sparse_mode_transient_and_ac_end_to_end():
     """Transient and AC must run end to end through the sparse assembly
     mode (sparse G_lin + capacitance pattern, splu factorizations) and
