@@ -12,9 +12,17 @@ sparse-assembly counts, AC solve/factorization-reuse counters, the
 Session solved-point-cache counters — exact hits / warm starts /
 misses — and plan counts, DC strategies) both human-readably and
 as a machine-scrapable ``BENCH {json}`` line, so perf trajectories can
-be collected from plain CI logs.  ``--workers N`` fans independent work
-(experiments, sweep chains, Monte-Carlo chips) over N processes
-(0 = all cores); results are identical to a serial run.
+be collected from plain CI logs.  Bench rows carry a ``trace_summary``
+with per-plan wall times and counter deltas (a plans-level tracer runs
+during each timed experiment), so experiments sharing one session no
+longer blend their work into a single total.  ``--workers N`` fans
+independent work (experiments, sweep chains, Monte-Carlo chips) over N
+processes (0 = all cores); results are identical to a serial run.
+
+``--trace FILE`` records the full telemetry span tree of the run
+(nested solve spans with per-iteration Newton convergence records) as
+JSONL; ``--metrics FILE`` writes the solver-counter snapshot in the
+Prometheus text exposition format.  Both compose with ``--bench``.
 
 Exit status is non-zero if any shape check fails, and 2 for usage
 errors (unknown experiment names are reported together with the
@@ -28,9 +36,10 @@ import sys
 import time
 from typing import List, Optional
 
+from . import telemetry
 from .experiments import EXPERIMENTS, render_result, render_summary, run_experiment
 from .experiments.export import write_csv
-from .spice.stats import STATS
+from .spice.stats import STATS, SolverStats
 
 #: Exit status for usage errors (unknown experiment, bad flags).
 USAGE_ERROR = 2
@@ -77,6 +86,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if error:
         print(error, file=sys.stderr)
         return USAGE_ERROR
+    trace_path, error = _pop_value_flag(argv, "--trace", "a file path")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    metrics_path, error = _pop_value_flag(argv, "--metrics", "a file path")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
     names = argv or sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
@@ -91,6 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return USAGE_ERROR
     results = {}
     bench_rows = []
+    trace_spans = []
+    metrics_stats = None
     if bench:
         # Timed one-by-one, fully in-process: worker processes would
         # increment their own STATS singletons and the parent snapshot
@@ -100,27 +119,52 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         saved_workers = os.environ.get("REPRO_WORKERS")
         os.environ["REPRO_WORKERS"] = "1"
+        # A plans-level tracer per timed run attributes counters to the
+        # individual plan spans (shared-session experiments used to
+        # blend their plans into one blended STATS row); --trace
+        # upgrades it to full detail, which perturbs the measured walls
+        # but buys the whole solve tree.
+        detail = "full" if trace_path else "plans"
+        metrics_stats = SolverStats()
         try:
             for name in names:
                 STATS.reset()
+                tracer = telemetry.install_tracer(detail=detail)
                 t0 = time.perf_counter()
-                results[name] = run_experiment(name)
+                try:
+                    results[name] = run_experiment(name)
+                finally:
+                    telemetry.uninstall_tracer()
                 wall = time.perf_counter() - t0
                 bench_rows.append(
-                    {"experiment": name, "wall_s": round(wall, 4), **STATS.as_dict()}
+                    {
+                        "experiment": name,
+                        "wall_s": round(wall, 4),
+                        **STATS.as_dict(),
+                        "trace_summary": telemetry.trace_summary(tracer),
+                    }
                 )
+                metrics_stats.merge(STATS)
+                trace_spans.extend(tracer.roots)
         finally:
             if saved_workers is None:
                 del os.environ["REPRO_WORKERS"]
             else:
                 os.environ["REPRO_WORKERS"] = saved_workers
-    elif max_workers is not None and max_workers != 1 and len(names) > 1:
-        from .experiments.registry import run_experiments
-
-        results = run_experiments(names, max_workers=max_workers)
     else:
-        for name in names:
-            results[name] = run_experiment(name)
+        tracer = telemetry.install_tracer(detail="full") if trace_path else None
+        try:
+            if max_workers is not None and max_workers != 1 and len(names) > 1:
+                from .experiments.registry import run_experiments
+
+                results = run_experiments(names, max_workers=max_workers)
+            else:
+                for name in names:
+                    results[name] = run_experiment(name)
+        finally:
+            if tracer is not None:
+                telemetry.uninstall_tracer()
+                trace_spans.extend(tracer.roots)
     for name in names:
         print(render_result(results[name]))
     if export_dir is not None:
@@ -150,6 +194,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"strategies: {strategies or '-'}"
         )
         print("BENCH " + json.dumps(row, sort_keys=True))
+    if trace_path is not None:
+        path = telemetry.write_jsonl(trace_spans, trace_path)
+        print(f"trace written -> {path} ({len(telemetry.trace_rows(trace_spans))} spans)")
+    if metrics_path is not None:
+        path = telemetry.write_prometheus(metrics_path, metrics_stats)
+        print(f"metrics written -> {path}")
     print(render_summary(results))
     return 0 if all(result.passed for result in results.values()) else 1
 

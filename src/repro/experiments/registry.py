@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError, ReproError
-from ..parallel import parallel_map
+from ..parallel import absorb_worker_telemetry, parallel_map, worker_telemetry
+from ..telemetry import tracer as _tele
 
 #: Registered experiment runners, keyed by experiment id.
 EXPERIMENTS: Dict[str, Callable[[], "ExperimentResult"]] = {}
@@ -82,6 +83,15 @@ def _run_attributed(name: str) -> ExperimentResult:
         ) from exc
 
 
+def _run_attributed_task(task: Tuple[str, Optional[str]]):
+    """Worker: :func:`_run_attributed` plus telemetry capture, so a
+    fanned experiment's counters and spans ship home with its result."""
+    name, trace_detail = task
+    with worker_telemetry(trace_detail) as box:
+        result = _run_attributed(name)
+    return result, box
+
+
 def run_experiments(
     names: Sequence[str], max_workers: Optional[int] = None
 ) -> Dict[str, ExperimentResult]:
@@ -91,12 +101,24 @@ def run_experiments(
     identical regardless of worker count; unknown names raise through
     :func:`run_experiment` before any work is dispatched, and a runner
     failure surfaces as :class:`~repro.errors.ExperimentError` carrying
-    the failing experiment's id (see :func:`_run_attributed`).
+    the failing experiment's id (see :func:`_run_attributed`).  Worker
+    STATS counters and trace spans are merged back into this process
+    (:func:`repro.parallel.absorb_worker_telemetry`), so fanned and
+    serial batches report identical telemetry.
     """
     for name in names:
         if name not in EXPERIMENTS:
             run_experiment(name)  # raises with the known-experiment list
-    results = parallel_map(_run_attributed, list(names), max_workers=max_workers)
+    detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
+    payloads = parallel_map(
+        _run_attributed_task,
+        [(name, detail) for name in names],
+        max_workers=max_workers,
+    )
+    results = []
+    for result, box in payloads:
+        absorb_worker_telemetry(box)
+        results.append(result)
     return dict(zip(names, results))
 
 

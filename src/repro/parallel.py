@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -72,3 +73,62 @@ def parallel_map(
         # *raised by func* inside a worker re-raises unchanged instead
         # of silently doubling the work on the failure path.
         return [func(item) for item in work]
+
+
+# ----------------------------------------------------------------------
+# Worker telemetry (ship-and-merge, like the Session solved-point cache)
+# ----------------------------------------------------------------------
+
+@contextmanager
+def worker_telemetry(trace_detail: Optional[str] = None):
+    """Capture a work item's telemetry into a picklable box.
+
+    Wrap the body of a :func:`parallel_map` work function with this and
+    ship the yielded ``box`` home in the payload; the submitting side
+    hands it to :func:`absorb_worker_telemetry`.  The box records the
+    worker ``pid``, the :data:`repro.spice.stats.STATS` counter movement
+    of the block (``stats``), and — when ``trace_detail`` is given
+    (pass the parent tracer's ``detail`` at submission time) — the
+    block's exported trace ``spans``.  A fresh tracer is installed for
+    the block even when the work runs in-process (the serial
+    fallback), so spans are never double-recorded: the parent sees them
+    only via the graft.
+    """
+    from .spice.stats import STATS
+    from .telemetry import tracer as _tele
+
+    box: Dict[str, object] = {"pid": os.getpid()}
+    before = STATS.snapshot()
+    try:
+        if trace_detail is not None:
+            with _tele.tracing(detail=trace_detail) as tracer:
+                yield box
+            box["spans"] = tracer.export()
+        else:
+            yield box
+    finally:
+        box["stats"] = STATS.delta_since(before)
+
+
+def absorb_worker_telemetry(box: Optional[Dict[str, object]]) -> None:
+    """Merge a :func:`worker_telemetry` box into this process.
+
+    The STATS delta is merged only when the box came from *another*
+    process — the serial fallback runs the work function in-process,
+    where its increments already landed on this STATS singleton, and
+    merging the shipped delta on top would double-count (exactly the
+    bug this pid guard exists for).  Spans are grafted unconditionally:
+    the capture tracer hid the parent tracer even in-process, so the
+    graft is the only way they arrive.
+    """
+    if not box:
+        return
+    from .spice.stats import STATS
+    from .telemetry import tracer as _tele
+
+    if box.get("pid") != os.getpid():
+        STATS.merge(box.get("stats", {}))
+    trc = _tele.ACTIVE
+    spans = box.get("spans")
+    if trc is not None and spans:
+        trc.graft(spans, worker_pid=box.get("pid"))

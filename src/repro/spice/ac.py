@@ -48,6 +48,7 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import NetlistError
+from ..telemetry import tracer as _tele
 from .analysis import ACResult, OperatingPoint, _wrap_point
 from .elements.base import ACStamp
 from .mna import MNASystem
@@ -303,12 +304,33 @@ class ACSystem:
             raise NetlistError("AC analysis needs a 1-D, non-empty frequency grid")
         if np.any(freqs < 0.0):
             raise NetlistError("AC frequencies must be non-negative")
-        solution = np.empty((len(freqs), self.system.size), dtype=complex)
-        for index, frequency in enumerate(freqs):
-            omega = 2.0 * np.pi * float(frequency)
-            factorization = self._factor(omega)
-            solution[index] = factorization.solve(self.b)
-            STATS.ac_solves += 1
+        trc = _tele.ACTIVE
+        sweep = (
+            trc.begin("ac_sweep", points=len(freqs)) if trc is not None else None
+        )
+        detailed = trc is not None and trc.detailed
+        reused = 0
+        try:
+            solution = np.empty((len(freqs), self.system.size), dtype=complex)
+            for index, frequency in enumerate(freqs):
+                omega = 2.0 * np.pi * float(frequency)
+                held = self._factorization
+                t0 = trc.clock() if detailed else 0.0
+                factorization = self._factor(omega)
+                if factorization is held:
+                    reused += 1
+                solution[index] = factorization.solve(self.b)
+                STATS.ac_solves += 1
+                if detailed:
+                    trc.leaf(
+                        "ac_point", t0,
+                        frequency_hz=float(frequency),
+                        factored=factorization is not held,
+                    )
+        finally:
+            if sweep is not None:
+                sweep.attrs["reused_factor"] = reused
+                trc.end(sweep)
         op = self.op
         if op is None:
             op = OperatingPoint(

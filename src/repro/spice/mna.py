@@ -65,6 +65,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import NetlistError
+from ..telemetry import tracer as _tele
 from .elements.base import DynamicState, Stamp, TransientContext
 from .groups import build_groups
 from .netlist import Circuit
@@ -588,12 +589,25 @@ class MNASystem:
         ``scipy.sparse`` matrix; every consumer in the repo (the Newton
         workspace, the AC subsystem) handles either kind.
         """
+        trc = _tele.ACTIVE
+        if trc is None or not trc.detailed:
+            if self._assembler is not None:
+                STATS.compiled_assemblies += 1
+                return self._assembler.assemble(x, gmin, source_scale, time, transient)
+            return self.assemble_reference(
+                x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
+            )
+        t0 = trc.clock()
         if self._assembler is not None:
             STATS.compiled_assemblies += 1
-            return self._assembler.assemble(x, gmin, source_scale, time, transient)
-        return self.assemble_reference(
-            x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
-        )
+            out = self._assembler.assemble(x, gmin, source_scale, time, transient)
+            trc.leaf("assembly", t0, path="compiled")
+        else:
+            out = self.assemble_reference(
+                x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
+            )
+            trc.leaf("assembly", t0, path="reference")
+        return out
 
     def assemble_reference(
         self,

@@ -59,7 +59,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from ..errors import NetlistError, PlanError
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import absorb_worker_telemetry, parallel_map, resolve_workers, worker_telemetry
+from ..telemetry import tracer as _tele
 from .ac import ACSystem
 from .analysis import ACResult, OperatingPoint, SweepResult, _wrap_point
 from .mna import MNASystem
@@ -75,7 +76,7 @@ from .plans import (
     Transient,
 )
 from .solver import NewtonWorkspace, RawSolution, SolverOptions, solve_dc_system
-from .stats import STATS
+from .stats import STATS, SolverStats
 from .transient import TransientOptions, TransientResult, run_transient_system
 
 
@@ -188,20 +189,44 @@ class SolvedPointCache:
         time_key: Optional[float],
         temperature_k: float,
         baseline: Mapping,
+        gates: Optional[Dict[str, object]] = None,
     ) -> Optional[np.ndarray]:
-        """The ``x`` of the nearest compatible point, or None."""
+        """The ``x`` of the nearest compatible point, or None.
+
+        When ``gates`` (a dict) is supplied and no candidate survives,
+        it is filled with the gate that rejected each one —
+        ``no_candidates`` (cache size; nothing shares the pinned time),
+        ``temperature_band`` (nearest candidate's |dT| in K) or
+        ``value_band`` (candidates rejected over override deltas) — the
+        telemetry explanation of why a solve went cold.
+        """
         best = None
         best_distance = None
+        candidates = 0
+        value_rejected = 0
+        nearest_dt = None
         for point in self._exact.values():
             if point.time_key != time_key:
                 continue
+            candidates += 1
             distance = abs(point.temperature_k - temperature_k)
             if distance > _WARM_MAX_DT:
+                if nearest_dt is None or distance < nearest_dt:
+                    nearest_dt = distance
                 continue
             if not self._values_compatible(coords, point.coords, baseline):
+                value_rejected += 1
                 continue
             if best_distance is None or distance < best_distance:
                 best, best_distance = point, distance
+        if best is None and gates is not None:
+            if candidates == 0:
+                gates["no_candidates"] = len(self._exact)
+            else:
+                if nearest_dt is not None:
+                    gates["temperature_band"] = round(float(nearest_dt), 3)
+                if value_rejected:
+                    gates["value_band"] = value_rejected
         return None if best is None else best.x
 
     def compatible_temperatures(
@@ -581,6 +606,11 @@ class Session:
         self.cache_hits = 0
         self.cache_warm_starts = 0
         self.cache_misses = 0
+        #: Session-local counter collector: every top-level :meth:`run`
+        #: (and each fanned worker's shipped delta) is folded in, so the
+        #: session can report its own share of the process ``STATS``.
+        self.stats = SolverStats()
+        self._run_depth = 0
 
     # -- lifecycle -----------------------------------------------------
     def invalidate(self) -> None:
@@ -628,38 +658,63 @@ class Session:
         """
         options = options or self.options
         temperature_k = float(temperature_k)
-        self.system.set_temperature(temperature_k)
-        time_key = None if time is None else float(time)
-        okey = _options_key(options)
-        overrides_key = tuple(sorted(_overrides))
-        exact_key = (self.fingerprint, overrides_key, time_key, okey, temperature_k)
-        coords = {(e, a): v for e, a, v in _overrides}
-        if x0 is None:
-            cached = self.cache.exact(exact_key)
-            if cached is not None:
-                self.cache_hits += 1
-                STATS.op_cache_hits += 1
-                return RawSolution(
-                    x=cached.x.copy(),
-                    iterations=cached.iterations,
-                    residual=cached.residual,
-                    strategy=cached.strategy,
+        trc = _tele.ACTIVE
+        span = (
+            trc.begin("solve", temperature_k=temperature_k)
+            if trc is not None
+            else None
+        )
+        try:
+            self.system.set_temperature(temperature_k)
+            time_key = None if time is None else float(time)
+            okey = _options_key(options)
+            overrides_key = tuple(sorted(_overrides))
+            exact_key = (self.fingerprint, overrides_key, time_key, okey, temperature_k)
+            coords = {(e, a): v for e, a, v in _overrides}
+            if x0 is None:
+                cached = self.cache.exact(exact_key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    STATS.op_cache_hits += 1
+                    if span is not None:
+                        span.attrs["cache"] = "hit"
+                    return RawSolution(
+                        x=cached.x.copy(),
+                        iterations=cached.iterations,
+                        residual=cached.residual,
+                        strategy=cached.strategy,
+                    )
+                gates: Optional[Dict[str, object]] = (
+                    {} if span is not None else None
                 )
-            warm = self.cache.nearest(coords, time_key, temperature_k, self._baseline)
-            if warm is not None:
-                x0 = warm
-                self.cache_warm_starts += 1
-                STATS.op_cache_warm_starts += 1
-            else:
-                self.cache_misses += 1
-                STATS.op_cache_misses += 1
-        raw = solve_dc_system(
-            self.system, options=options, x0=x0, time=time, workspace=self.workspace
-        )
-        self.cache.insert(
-            exact_key, _CachedPoint(temperature_k, time_key, okey, coords, raw)
-        )
-        return raw
+                warm = self.cache.nearest(
+                    coords, time_key, temperature_k, self._baseline, gates=gates
+                )
+                if warm is not None:
+                    x0 = warm
+                    self.cache_warm_starts += 1
+                    STATS.op_cache_warm_starts += 1
+                    if span is not None:
+                        span.attrs["cache"] = "warm"
+                else:
+                    self.cache_misses += 1
+                    STATS.op_cache_misses += 1
+                    if span is not None:
+                        span.attrs["cache"] = "miss"
+                        if gates:
+                            span.attrs["cache_gates"] = gates
+            elif span is not None:
+                span.attrs["cache"] = "seeded"
+            raw = solve_dc_system(
+                self.system, options=options, x0=x0, time=time, workspace=self.workspace
+            )
+            self.cache.insert(
+                exact_key, _CachedPoint(temperature_k, time_key, okey, coords, raw)
+            )
+            return raw
+        finally:
+            if span is not None:
+                trc.end(span)
 
     def _record_baseline(self, element_name: str, attribute: str, value) -> None:
         """Remember the pre-override value of an attribute (the warm-band
@@ -705,7 +760,28 @@ class Session:
     def run(self, plan: AnalysisPlan, x0: Optional[np.ndarray] = None) -> AnalysisResult:
         """Validate and execute one plan; returns an :class:`AnalysisResult`."""
         self.validate(plan)
-        STATS.session_plans += 1
+        trc = _tele.ACTIVE
+        span = (
+            trc.begin("plan", kind=type(plan).__name__)
+            if trc is not None
+            else None
+        )
+        # Only the outermost run of a nesting chain (MonteCarlo trials
+        # re-enter run per trial) snapshots/merges, so the session-local
+        # collector counts each solve exactly once.
+        self._run_depth += 1
+        baseline = STATS.snapshot() if self._run_depth == 1 else None
+        try:
+            STATS.session_plans += 1
+            return self._dispatch(plan, x0)
+        finally:
+            self._run_depth -= 1
+            if baseline is not None:
+                self.stats.merge(STATS.delta_since(baseline))
+            if span is not None:
+                trc.end(span)
+
+    def _dispatch(self, plan: AnalysisPlan, x0) -> AnalysisResult:
         if isinstance(plan, OP):
             return self._run_op(plan, x0)
         if isinstance(plan, DCSweep):
@@ -748,29 +824,33 @@ class Session:
         # equal to solver tolerance.
         recipe = self.recipe()
         seed = self.cache.export()
+        detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
         payloads = parallel_map(
             _run_plans_task,
-            [(recipe, (plan,), seed) for plan in plans],
+            [(recipe, (plan,), seed, detail) for plan in plans],
             max_workers=workers,
         )
         results = []
         for plan, payload in zip(plans, payloads):
-            self.cache.merge(payload["cache"])
-            self._absorb_counters(payload["counters"])
+            self._absorb_payload(payload)
             results.append(_result_from_payload(self, plan, payload["results"][0]))
         return results
 
-    def _absorb_counters(self, counters: Tuple[int, int, int]) -> None:
-        """Fold a worker session's cache counters into this session's
-        mirrors and the global STATS (worker processes have their own
-        STATS singleton, which would otherwise be lost)."""
-        hits, warm_starts, misses = counters
+    def _absorb_payload(self, payload: dict) -> None:
+        """Fold a worker session's state into this one: solved points,
+        cache-counter mirrors, and the telemetry box (whose STATS delta
+        is pid-guarded — a worker process has its own STATS singleton
+        whose movement would otherwise be lost, while the serial
+        fallback already incremented ours directly)."""
+        self.cache.merge(payload["cache"])
+        hits, warm_starts, misses = payload["counters"]
         self.cache_hits += hits
         self.cache_warm_starts += warm_starts
         self.cache_misses += misses
-        STATS.op_cache_hits += hits
-        STATS.op_cache_warm_starts += warm_starts
-        STATS.op_cache_misses += misses
+        box = payload.get("telemetry")
+        absorb_worker_telemetry(box)
+        if box:
+            self.stats.merge(box.get("stats", {}))
 
     # -- per-plan bodies -----------------------------------------------
     def _run_op(self, plan: OP, x0) -> OPResult:
@@ -946,23 +1026,28 @@ def _run_plans_task(task) -> dict:
     """Worker: build a session from its recipe, seed its cache from the
     optional parent snapshot, run its plans serially (sharing the cache
     within the group), and return picklable payloads plus the solved
-    points for the parent to merge back."""
+    points and telemetry for the parent to merge back.
+
+    ``task`` is ``(recipe, plans[, cache_seed[, trace_detail]])`` —
+    ``trace_detail`` is the parent tracer's detail level (or None), so
+    a traced fanned run captures the same span tree a serial run would.
+    """
     recipe, plans = task[0], task[1]
     session = recipe.build()
     if len(task) > 2 and task[2]:
         session.cache.merge(task[2])
-    payloads = [_payload_from_result(session.run(plan)) for plan in plans]
+    detail = task[3] if len(task) > 3 else None
+    with worker_telemetry(detail) as box:
+        payloads = [_payload_from_result(session.run(plan)) for plan in plans]
     return {
         "results": payloads,
         "cache": session.cache.export(),
-        # Worker processes increment their own STATS singleton, which
-        # dies with them — ship the cache counters home so fanned runs
-        # stay visible in --bench and the per-session mirrors.
         "counters": (
             session.cache_hits,
             session.cache_warm_starts,
             session.cache_misses,
         ),
+        "telemetry": box,
     }
 
 
@@ -1012,14 +1097,14 @@ def run_plans(
             for index in indices:
                 results[index] = session.run(pairs[index][1])
         return results
+    detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
     tasks = [
-        (recipe, tuple(pairs[index][1] for index in indices))
+        (recipe, tuple(pairs[index][1] for index in indices), None, detail)
         for recipe, indices in groups
     ]
     payloads = parallel_map(_run_plans_task, tasks, max_workers=workers)
     for session, (_recipe, indices), payload in zip(sessions, groups, payloads):
-        session.cache.merge(payload["cache"])
-        session._absorb_counters(payload["counters"])
+        session._absorb_payload(payload)
         for index, result_payload in zip(indices, payload["results"]):
             results[index] = _result_from_payload(
                 session, pairs[index][1], result_payload

@@ -46,6 +46,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import ConvergenceError
+from ..telemetry import tracer as _tele
 from .elements.base import TransientContext
 from .mna import MNASystem
 from .netlist import Circuit
@@ -186,6 +187,15 @@ class NewtonWorkspace:
         ``scipy.sparse`` matrix — a sparse input always factors through
         ``splu`` regardless of the size threshold.
         """
+        trc = _tele.ACTIVE
+        if trc is None or not trc.detailed:
+            return self._factor(jacobian, options)
+        t0 = trc.clock()
+        ok = self._factor(jacobian, options)
+        trc.leaf("factorization", t0, sparse=self._kind == "sparse", ok=ok)
+        return ok
+
+    def _factor(self, jacobian: np.ndarray, options: SolverOptions) -> bool:
         try:
             if _HAVE_SCIPY and (
                 _issparse(jacobian)
@@ -245,6 +255,7 @@ def _newton(
     time: Optional[float] = None,
     transient: Optional[TransientContext] = None,
     workspace: Optional[NewtonWorkspace] = None,
+    phase: str = "plain",
 ) -> Optional[RawSolution]:
     """One damped Newton run; None if it does not converge.
 
@@ -252,7 +263,39 @@ def _newton(
     damping/line-search machinery serves the DC analyses and every
     timestep re-solve of the transient engine.  ``workspace`` carries
     the LU factorization (and its reuse policy) across calls.
+    ``phase`` labels the run's ``newton_solve`` span when a detailed
+    tracer is installed (which strategy-ladder rung asked for it).
     """
+    trc = _tele.ACTIVE
+    if trc is None or not trc.detailed:
+        return _newton_run(
+            system, x0, options, gmin, source_scale, time, transient,
+            workspace, None,
+        )
+    with trc.span("newton_solve", phase=phase) as span:
+        solution = _newton_run(
+            system, x0, options, gmin, source_scale, time, transient,
+            workspace, trc,
+        )
+        span.attrs["converged"] = solution is not None
+        if solution is not None:
+            span.attrs["iterations"] = solution.iterations
+        elif "reason" not in span.attrs:
+            span.attrs["reason"] = "max_iterations"
+        return solution
+
+
+def _newton_run(
+    system: MNASystem,
+    x0: np.ndarray,
+    options: SolverOptions,
+    gmin: float,
+    source_scale: float,
+    time: Optional[float],
+    transient: Optional[TransientContext],
+    workspace: Optional[NewtonWorkspace],
+    trc: Optional["_tele.Tracer"],
+) -> Optional[RawSolution]:
     ws = workspace if workspace is not None else NewtonWorkspace()
     ws.match_size(system.size)
     factorizations_before = ws.factorizations
@@ -306,6 +349,8 @@ def _newton(
                 # No meaningful progress in a whole window: this run is
                 # not going to make it — hand over to the fallback
                 # ladder now rather than at max_iterations.
+                if trc is not None:
+                    trc.annotate(reason="stagnation")
                 return None
             stall_best = best_norm
             stall_deadline = iteration + options.stall_window
@@ -317,6 +362,7 @@ def _newton(
         # full damping machinery instead.  Strong contraction plus the
         # consecutive-reuse cap keep reuse from trading one saved
         # factorization for many linearly-converging iterations.
+        guard = None
         if (
             options.reuse_lu
             and ws.stale
@@ -324,10 +370,11 @@ def _newton(
             and ws.consecutive_reuses < options.reuse_limit
         ):
             step = ws.solve(residual)
-            if step is not None and (
-                step.size == 0
-                or float(np.abs(step).max()) <= options.max_step_v
-            ):
+            if step is None:
+                guard = "solve_failed"
+            elif step.size != 0 and float(np.abs(step).max()) > options.max_step_v:
+                guard = "step_bound"
+            else:
                 candidate = x - step
                 trial, abs_trial, trial_norm = evaluate(candidate)
                 if trial_norm < options.reuse_contraction * norm:
@@ -338,16 +385,36 @@ def _newton(
                         candidate, trial, abs_trial, trial_norm,
                     )
                     best_norm = min(best_norm, norm)
+                    if trc is not None:
+                        trc.iteration(
+                            i=iteration,
+                            residual=norm,
+                            step=float(np.abs(step).max()) if step.size else 0.0,
+                            damping=1.0,
+                            kind="reuse",
+                        )
                     continue
+                guard = "no_contraction"
+        elif (
+            trc is not None
+            and options.reuse_lu
+            and ws.stale
+            and ws.has_factorization
+        ):
+            guard = "reuse_limit"
 
         # -- full Newton: factor at the current iterate.
         jacobian, _ = system.assemble(
             x, gmin=gmin, source_scale=source_scale, time=time, transient=transient
         )
         if not ws.factor(jacobian, options):
+            if trc is not None:
+                trc.annotate(reason="singular_jacobian")
             return None
         step = ws.solve(residual)
         if step is None:
+            if trc is not None:
+                trc.annotate(reason="singular_jacobian")
             return None
         max_step = float(np.abs(step).max()) if step.size else 0.0
         clamp = 1.0 if max_step <= options.max_step_v else options.max_step_v / max_step
@@ -374,6 +441,17 @@ def _newton(
             # residual is already in hand.
             x, residual, abs_residual, norm = candidate, trial, abs_trial, trial_norm
         best_norm = min(best_norm, norm)
+        if trc is not None:
+            record = {
+                "i": iteration,
+                "residual": norm,
+                "step": max_step,
+                "damping": damping,
+                "kind": "factor",
+            }
+            if guard is not None:
+                record["guard"] = guard
+            trc.iteration(**record)
         # Whatever happens next, this factorization refers to a bygone
         # iterate.
         ws.stale = True
@@ -397,14 +475,17 @@ def _gain_stepping(
     final_gains = [amp.gain for amp in amps]
     max_gain = max(final_gains)
     x = start.copy()
+    trc = _tele.ACTIVE
+    rungs = 0
     try:
         gain = 1.0
         while gain < max_gain:
             for amp, final in zip(amps, final_gains):
                 amp.gain = min(final, gain)
+            rungs += 1
             stage = _newton(
                 system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
-                workspace=workspace,
+                workspace=workspace, phase=f"gain[{rungs}]",
             )
             if stage is None:
                 return None
@@ -413,9 +494,11 @@ def _gain_stepping(
     finally:
         for amp, final in zip(amps, final_gains):
             amp.gain = final
+        if trc is not None:
+            trc.annotate(gain_rungs=rungs)
     final_solution = _newton(
         system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
-        workspace=workspace,
+        workspace=workspace, phase="gain[final]",
     )
     if final_solution is not None:
         final_solution.strategy = "gain-stepping"
@@ -469,6 +552,30 @@ def solve_dc_system(
     element values between solves must call :meth:`MNASystem.invalidate`
     themselves.
     """
+    trc = _tele.ACTIVE
+    if trc is None or not trc.detailed:
+        return _solve_dc_system_impl(system, options, x0, time, workspace, None)
+    with trc.span("dc_solve") as span:
+        try:
+            solution = _solve_dc_system_impl(
+                system, options, x0, time, workspace, trc
+            )
+        except ConvergenceError:
+            span.attrs["converged"] = False
+            raise
+        span.attrs["converged"] = True
+        span.attrs["strategy"] = solution.strategy
+        return solution
+
+
+def _solve_dc_system_impl(
+    system: MNASystem,
+    options: Optional[SolverOptions],
+    x0: Optional[np.ndarray],
+    time: Optional[float],
+    workspace: Optional[NewtonWorkspace],
+    trc: Optional["_tele.Tracer"],
+) -> RawSolution:
     circuit = system.circuit
     options = options or SolverOptions()
     workspace = workspace if workspace is not None else NewtonWorkspace()
@@ -480,7 +587,7 @@ def solve_dc_system(
 
     solution = _newton(
         system, start, options, gmin=options.gmin, source_scale=1.0, time=time,
-        workspace=workspace,
+        workspace=workspace, phase="plain",
     )
     if solution is not None:
         STATS.record_strategy(solution.strategy)
@@ -497,19 +604,23 @@ def solve_dc_system(
     # gmin stepping.
     x = start.copy()
     failed = False
+    rungs = 0
     for gmin in options.gmin_ladder:
+        rungs += 1
         stage = _newton(
             system, x, options, gmin=gmin, source_scale=1.0, time=time,
-            workspace=workspace,
+            workspace=workspace, phase=f"gmin[{gmin:g}]",
         )
         if stage is None:
             failed = True
             break
         x = stage.x
+    if trc is not None:
+        trc.annotate(gmin_rungs=rungs)
     if not failed:
         final = _newton(
             system, x, options, gmin=options.gmin, source_scale=1.0, time=time,
-            workspace=workspace,
+            workspace=workspace, phase="gmin[final]",
         )
         if final is not None:
             final.strategy = "gmin-stepping"
@@ -518,17 +629,23 @@ def solve_dc_system(
 
     # Source stepping.
     x = np.zeros(system.size)
+    steps = 0
     for scale in options.source_ramp:
+        steps += 1
         stage = _newton(
             system, x, options, gmin=options.gmin, source_scale=scale, time=time,
-            workspace=workspace,
+            workspace=workspace, phase=f"source[{scale:g}]",
         )
         if stage is None:
+            if trc is not None:
+                trc.annotate(source_steps=steps)
             raise ConvergenceError(
                 f"DC solve failed (source stepping stalled at {scale:.0%}) "
                 f"for circuit {circuit.title!r} at {system.temperature_k:.2f} K"
             )
         x = stage.x
+    if trc is not None:
+        trc.annotate(source_steps=steps)
     stage.strategy = "source-stepping"
     STATS.record_strategy(stage.strategy)
     return stage

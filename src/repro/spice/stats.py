@@ -13,8 +13,8 @@ leave permanently enabled (the hot loops they instrument each do an
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Union
 
 
 @dataclass
@@ -71,49 +71,54 @@ class SolverStats:
         self.strategies[name] = self.strategies.get(name, 0) + 1
 
     def reset(self) -> None:
-        self.newton_solves = 0
-        self.iterations = 0
-        self.factorizations = 0
-        self.lu_reuses = 0
-        self.residual_evaluations = 0
-        self.compiled_assemblies = 0
-        self.reference_assemblies = 0
-        self.sparse_factorizations = 0
-        self.group_evals = 0
-        self.grouped_device_evals = 0
-        self.sparse_assemblies = 0
-        self.ac_solves = 0
-        self.ac_factorizations = 0
-        self.ac_factor_reuses = 0
-        self.op_cache_hits = 0
-        self.op_cache_warm_starts = 0
-        self.op_cache_misses = 0
-        self.session_plans = 0
-        self.strategies = {}
+        """Zero every counter (field-driven, so new counters can't be
+        forgotten here)."""
+        for spec in fields(self):
+            if spec.name == "strategies":
+                self.strategies = {}
+            else:
+                setattr(self, spec.name, 0)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot of every counter."""
-        return {
-            "newton_solves": self.newton_solves,
-            "iterations": self.iterations,
-            "factorizations": self.factorizations,
-            "lu_reuses": self.lu_reuses,
-            "residual_evaluations": self.residual_evaluations,
-            "compiled_assemblies": self.compiled_assemblies,
-            "reference_assemblies": self.reference_assemblies,
-            "sparse_factorizations": self.sparse_factorizations,
-            "group_evals": self.group_evals,
-            "grouped_device_evals": self.grouped_device_evals,
-            "sparse_assemblies": self.sparse_assemblies,
-            "ac_solves": self.ac_solves,
-            "ac_factorizations": self.ac_factorizations,
-            "ac_factor_reuses": self.ac_factor_reuses,
-            "op_cache_hits": self.op_cache_hits,
-            "op_cache_warm_starts": self.op_cache_warm_starts,
-            "op_cache_misses": self.op_cache_misses,
-            "session_plans": self.session_plans,
-            "strategies": dict(self.strategies),
-        }
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Alias of :meth:`as_dict`, named for delta bookkeeping."""
+        return self.as_dict()
+
+    def delta_since(self, baseline: Mapping[str, object]) -> Dict[str, object]:
+        """Counter movement since a :meth:`snapshot` (every field, zeros
+        included — use the telemetry span deltas for the sparse form)."""
+        delta: Dict[str, object] = {}
+        for name, value in self.as_dict().items():
+            base = baseline.get(name, 0)
+            if isinstance(value, dict):
+                keys = set(value) | set(base)
+                delta[name] = {
+                    k: value.get(k, 0) - base.get(k, 0) for k in sorted(keys)
+                }
+            else:
+                delta[name] = value - base
+        return delta
+
+    def merge(self, other: Union["SolverStats", Mapping[str, object]]) -> None:
+        """Add another accumulator's counters (or an ``as_dict``-shaped
+        mapping, e.g. a worker's shipped delta) into this one."""
+        data = other.as_dict() if isinstance(other, SolverStats) else other
+        for spec in fields(self):
+            incoming = data.get(spec.name)
+            if incoming is None:
+                continue
+            if spec.name == "strategies":
+                for key, count in incoming.items():
+                    self.strategies[key] = self.strategies.get(key, 0) + count
+            else:
+                setattr(self, spec.name, getattr(self, spec.name) + incoming)
 
 
 #: The process-wide accumulator.

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import ConvergenceError, NetlistError
+from ..telemetry import tracer as _tele
 from .analysis import OperatingPoint
 from .elements.base import DynamicState, TransientContext
 from .mna import MNASystem
@@ -322,9 +323,7 @@ def run_transient_system(
         if ceiling is not None:
             dt_max = min(dt_max, max(ceiling, dt_min))
     dt_init = min(dt_init, dt_max)
-    dt = dt_init
     breakpoints = _collect_breakpoints(circuit, t_start, t_stop, dt_min)
-    next_breakpoint = 0  # index of the first breakpoint still ahead
     order_exponent = 1.0 / (_METHOD_ORDER[options.method] + 1.0)
 
     temperature_k = system.temperature_k
@@ -338,9 +337,69 @@ def run_transient_system(
     solutions = [x.copy()]
     step_iterations = [initial.iterations]
     step_residuals = [initial.residual]
-    rejected_lte = 0
-    newton_retries = 0
+    counts = _StepCounts()
 
+    trc = _tele.ACTIVE
+    run_span = (
+        trc.begin(
+            "transient",
+            method=options.method,
+            t_start_s=t_start,
+            t_stop_s=t_stop,
+        )
+        if trc is not None
+        else None
+    )
+    detailed = trc is not None and trc.detailed
+    try:
+        _transient_loop(
+            circuit, system, workspace, options, trc if detailed else None,
+            span, dt_init, dt_min, dt_max, breakpoints, order_exponent,
+            t_start, t_stop, x, dynamic, states, times, solutions,
+            step_iterations, step_residuals, counts,
+        )
+    finally:
+        if run_span is not None:
+            run_span.attrs.update(
+                accepted_steps=len(times) - 1,
+                rejected_lte=counts.rejected_lte,
+                newton_retries=counts.newton_retries,
+            )
+            trc.end(run_span)
+
+    return TransientResult(
+        circuit=circuit,
+        temperature_k=temperature_k,
+        method=options.method,
+        times=np.asarray(times),
+        states=np.asarray(solutions),
+        step_iterations=step_iterations,
+        step_residuals=step_residuals,
+        initial_strategy=initial.strategy,
+        rejected_lte=counts.rejected_lte,
+        newton_retries=counts.newton_retries,
+        factorizations=workspace.factorizations,
+        lu_reuses=workspace.reuses,
+    )
+
+
+@dataclass
+class _StepCounts:
+    rejected_lte: int = 0
+    newton_retries: int = 0
+
+
+def _transient_loop(
+    circuit, system, workspace, options, trc, span, dt_init, dt_min, dt_max,
+    breakpoints, order_exponent, t_start, t_stop, x, dynamic, states, times,
+    solutions, step_iterations, step_residuals, counts,
+):
+    """The attempt/accept/reject stepping loop of
+    :func:`run_transient_system` (``trc`` is the detailed tracer or
+    ``None``; ``times``/``solutions``/... are mutated in place so the
+    caller can report partial progress even when a step raises)."""
+    dt = min(dt_init, dt_max)
+    next_breakpoint = 0  # index of the first breakpoint still ahead
     t = t_start
     attempts = 0
     just_rejected = False
@@ -382,6 +441,11 @@ def run_transient_system(
             dt = breakpoints[next_breakpoint] - t
         t_new = t + dt
         ctx = TransientContext(dt=dt, method=options.method, states=states)
+        step_span = (
+            trc.begin("transient_step", t_s=t_new, dt_s=dt)
+            if trc is not None
+            else None
+        )
         # Explicit linear predictor over the last two accepted points:
         # the LTE yardstick, and — when available — the Newton starting
         # point.  Warm-starting at the extrapolation instead of the
@@ -419,8 +483,11 @@ def run_transient_system(
                 workspace=workspace,
             )
         if solution is None:
-            newton_retries += 1
+            counts.newton_retries += 1
             just_rejected = True
+            if step_span is not None:
+                step_span.attrs.update(accepted=False, reason="newton")
+                trc.end(step_span)
             dt *= options.newton_shrink
             if dt < dt_min:
                 raise ConvergenceError(
@@ -440,8 +507,11 @@ def run_transient_system(
                 scale = max(scale, abs(q_new) / c_scale)
             tol = options.lte_abstol + options.lte_reltol * scale
             if err > tol and dt > dt_min:
-                rejected_lte += 1
+                counts.rejected_lte += 1
                 just_rejected = True
+                if step_span is not None:
+                    step_span.attrs.update(accepted=False, reason="lte")
+                    trc.end(step_span)
                 factor = 0.9 * (tol / err) ** order_exponent
                 dt = max(dt * min(0.5, factor), dt_min)
                 continue
@@ -470,19 +540,7 @@ def run_transient_system(
         solutions.append(x.copy())
         step_iterations.append(solution.iterations)
         step_residuals.append(solution.residual)
+        if step_span is not None:
+            step_span.attrs["accepted"] = True
+            trc.end(step_span)
         dt = float(min(max(next_dt, dt_min), dt_max))
-
-    return TransientResult(
-        circuit=circuit,
-        temperature_k=temperature_k,
-        method=options.method,
-        times=np.asarray(times),
-        states=np.asarray(solutions),
-        step_iterations=step_iterations,
-        step_residuals=step_residuals,
-        initial_strategy=initial.strategy,
-        rejected_lte=rejected_lte,
-        newton_retries=newton_retries,
-        factorizations=workspace.factorizations,
-        lu_reuses=workspace.reuses,
-    )

@@ -1,0 +1,209 @@
+"""Tests for the SolverStats lifecycle: reset / as_dict round-trip,
+snapshot-delta bookkeeping, cross-accumulator merge, and the fanned-vs-
+serial counter-equality regression that the worker telemetry merge
+exists to guarantee.
+
+Everything here is field-driven on purpose: a counter added to
+``SolverStats`` must round-trip, reset, and merge without this file
+changing — the dataclass fields are the single source of truth.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.spice import OP, Session, SessionRecipe, TempSweep, run_plans
+from repro.spice import Circuit, Diode, Resistor, VoltageSource
+from repro.spice.stats import STATS, SolverStats
+
+
+def diode_circuit():
+    c = Circuit("diode under drive")
+    c.add(VoltageSource("V1", "in", "0", 5.0))
+    c.add(Resistor("R1", "in", "d", 1e3))
+    c.add(Diode("D1", "d", "0"))
+    return c
+
+
+def rc_circuit():
+    c = Circuit("rc divider")
+    c.add(VoltageSource("V1", "in", "0", 1.0))
+    c.add(Resistor("R1", "in", "out", 1e3))
+    c.add(Resistor("R2", "out", "0", 1e3))
+    return c
+
+
+def distinct_stats() -> SolverStats:
+    """A SolverStats with every scalar field set to a distinct value."""
+    stats = SolverStats()
+    for position, spec in enumerate(fields(stats)):
+        if spec.name == "strategies":
+            stats.strategies = {"newton": 3, "gain-stepping": 5}
+        else:
+            setattr(stats, spec.name, 10 + position)
+    return stats
+
+
+class TestRoundTrip:
+    def test_as_dict_covers_every_field(self):
+        stats = distinct_stats()
+        snapshot = stats.as_dict()
+        assert set(snapshot) == {spec.name for spec in fields(stats)}
+        for spec in fields(stats):
+            assert snapshot[spec.name] == getattr(stats, spec.name)
+
+    def test_as_dict_copies_the_strategies_dict(self):
+        stats = distinct_stats()
+        snapshot = stats.as_dict()
+        snapshot["strategies"]["newton"] = 999
+        assert stats.strategies["newton"] == 3
+
+    def test_merge_of_a_snapshot_reproduces_the_original(self):
+        stats = distinct_stats()
+        rebuilt = SolverStats()
+        rebuilt.merge(stats.as_dict())
+        assert rebuilt.as_dict() == stats.as_dict()
+
+    def test_reset_zeroes_every_field(self):
+        stats = distinct_stats()
+        stats.reset()
+        for spec in fields(stats):
+            expected = {} if spec.name == "strategies" else 0
+            assert getattr(stats, spec.name) == expected, spec.name
+
+    def test_snapshot_is_an_alias_of_as_dict(self):
+        stats = distinct_stats()
+        assert stats.snapshot() == stats.as_dict()
+
+
+class TestDeltaAndMerge:
+    def test_delta_since_reports_movement_with_zeros(self):
+        stats = SolverStats()
+        before = stats.snapshot()
+        stats.iterations += 7
+        stats.record_strategy("newton")
+        delta = stats.delta_since(before)
+        assert delta["iterations"] == 7
+        assert delta["newton_solves"] == 0  # zeros included by contract
+        assert delta["strategies"] == {"newton": 1}
+
+    def test_delta_since_diffs_preexisting_strategy_counts(self):
+        stats = SolverStats()
+        stats.record_strategy("newton")
+        before = stats.snapshot()
+        stats.record_strategy("newton")
+        stats.record_strategy("gmin-stepping")
+        delta = stats.delta_since(before)
+        assert delta["strategies"] == {"gmin-stepping": 1, "newton": 1}
+
+    def test_merge_adds_solverstats_and_mappings_alike(self):
+        target = distinct_stats()
+        expected = {
+            name: (
+                {key: 2 * count for key, count in value.items()}
+                if isinstance(value, dict)
+                else 2 * value
+            )
+            for name, value in target.as_dict().items()
+        }
+        target.merge(distinct_stats())  # SolverStats operand
+        assert target.as_dict() == expected
+        target.merge(SolverStats().as_dict())  # zero mapping operand
+        assert target.as_dict() == expected
+
+    def test_merge_unions_strategy_keys(self):
+        target = SolverStats()
+        target.record_strategy("newton")
+        target.merge({"strategies": {"newton": 2, "source-stepping": 1}})
+        assert target.strategies == {"newton": 3, "source-stepping": 1}
+
+    def test_merge_ignores_missing_keys(self):
+        target = distinct_stats()
+        before = target.as_dict()
+        target.merge({"iterations": 1})
+        assert target.iterations == before["iterations"] + 1
+        assert target.newton_solves == before["newton_solves"]
+
+
+def _sweep_pairs():
+    return [
+        (
+            SessionRecipe(builder=diode_circuit),
+            TempSweep(temperatures_k=(280.0, 300.0, 320.0)),
+        ),
+        (SessionRecipe(builder=rc_circuit), OP()),
+    ]
+
+
+def _stats_after_run_plans(workers):
+    STATS.reset()
+    run_plans(_sweep_pairs(), workers=workers)
+    return STATS.as_dict()
+
+
+class TestFannedCountersMatchSerial:
+    """Worker STATS deltas ship home and merge (pid-guarded), so the
+    process counters after a fanned ``run_plans`` equal the serial
+    run's — the regression the telemetry merge layer pins down."""
+
+    def test_run_plans_workers_flag(self):
+        serial = _stats_after_run_plans(workers=1)
+        fanned = _stats_after_run_plans(workers=2)
+        assert fanned == serial
+
+    def test_run_plans_repro_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        serial = _stats_after_run_plans(workers=None)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        fanned = _stats_after_run_plans(workers=None)
+        assert fanned == serial
+
+    def test_run_many_fanned_work_lands_on_process_stats(self):
+        # run_many's serial path shares the session cache between plans
+        # (later ones warm-start off earlier ones) while the fanned path
+        # runs them concurrently, so exact counter equality is run_plans
+        # territory.  What MUST hold is that fanned workers' solver work
+        # is merged back into this process's STATS at all.
+        plans = [OP(temperature_k=300.0), OP(temperature_k=310.0)]
+        STATS.reset()
+        session = Session(diode_circuit)
+        session.run_many(list(plans), workers=2)
+        assert STATS.newton_solves >= 2
+        assert STATS.op_cache_misses + STATS.op_cache_warm_starts == 2
+        # The session-local mirrors agree with the process totals.
+        assert session.cache_misses == STATS.op_cache_misses
+        assert session.cache_warm_starts == STATS.op_cache_warm_starts
+
+
+class TestSessionLocalStats:
+    def test_session_stats_collects_this_sessions_share(self):
+        session = Session(diode_circuit)
+        STATS.reset()
+        before = STATS.snapshot()
+        session.run(TempSweep(temperatures_k=(290.0, 310.0)))
+        assert session.stats.as_dict() == STATS.delta_since(before)
+        assert session.stats.newton_solves > 0
+
+    def test_two_sessions_split_the_process_totals(self):
+        STATS.reset()
+        first = Session(diode_circuit)
+        second = Session(rc_circuit)
+        first.run(OP())
+        second.run(OP())
+        merged = SolverStats()
+        merged.merge(first.stats)
+        merged.merge(second.stats)
+        assert merged.as_dict() == STATS.as_dict()
+
+    def test_nested_montecarlo_runs_count_once(self):
+        from repro.spice import MonteCarlo
+
+        trials = tuple(
+            (("R1", "resistance", resistance),) for resistance in (500.0, 2e3)
+        )
+        session = Session(diode_circuit)
+        STATS.reset()
+        before = STATS.snapshot()
+        session.run(MonteCarlo(inner=OP(), trials=trials))
+        # The inner per-trial run() re-entries must not double-merge.
+        assert session.stats.as_dict() == STATS.delta_since(before)

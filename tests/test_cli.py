@@ -88,6 +88,28 @@ class TestCli:
         assert row["experiment"] == "fig1"
         assert row["wall_s"] >= 0.0
         assert "iterations" in row and "lu_reuses" in row
+        # Every bench row carries the per-plan trace digest (empty for
+        # fig1, whose behavioural model never touches the solver).
+        assert row["trace_summary"]["spans"] == 0
+        assert row["trace_summary"]["roots"] == []
+
+    def test_bench_attributes_counters_to_individual_plans(self, capsys):
+        import json
+
+        status = main(["--bench", "zout_vref"])
+        out = capsys.readouterr().out
+        assert status == 0
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        row = json.loads(bench_lines[0][len("BENCH "):])
+        roots = row["trace_summary"]["roots"]
+        assert len(roots) >= 2  # a DC sweep and an AC sweep, at least
+        assert all(root["span"] == "plan" for root in roots)
+        kinds = {root["kind"] for root in roots}
+        assert "ACSweep" in kinds
+        # Per-plan counter deltas sum to the experiment's own totals —
+        # the attribution that a shared-session STATS row cannot give.
+        for key in ("iterations", "ac_solves"):
+            assert sum(r["counters"].get(key, 0) for r in roots) == row[key]
 
     def test_workers_flag_does_not_change_results(self, capsys):
         status = main(["--workers", "2", "fig1", "ablation_current_ratio"])
@@ -101,3 +123,68 @@ class TestCli:
         err = capsys.readouterr().err
         assert status == 2
         assert "--workers" in err
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        from repro import telemetry
+        from repro.telemetry import tracer as tracer_mod
+
+        trace_file = tmp_path / "trace.jsonl"
+        metrics_file = tmp_path / "metrics.prom"
+        status = main(
+            ["zout_vref", "--trace", str(trace_file), "--metrics", str(metrics_file)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert f"trace written -> {trace_file}" in out
+        assert f"metrics written -> {metrics_file}" in out
+        # The CLI uninstalls its tracer even on the non-bench path.
+        assert tracer_mod.ACTIVE is None
+        rows = telemetry.read_jsonl(trace_file)
+        assert rows, "a solver-driven experiment must produce spans"
+        names = {row["span"] for row in rows}
+        assert {"plan", "solve", "dc_solve", "newton_solve"} <= names
+        metrics = metrics_file.read_text()
+        assert "repro_newton_solves_total 0\n" not in metrics
+        assert "# TYPE repro_iterations_total counter" in metrics
+
+    def test_metrics_flag_without_solves_writes_zero_counters(self, tmp_path):
+        metrics_file = tmp_path / "metrics.prom"
+        from repro.spice.stats import STATS
+
+        STATS.reset()
+        status = main(["fig1", "--metrics", str(metrics_file)])
+        assert status == 0
+        assert "repro_session_plans_total 0" in metrics_file.read_text()
+
+    def test_trace_flag_requires_an_argument(self, capsys):
+        status = main(["fig1", "--trace"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "--trace requires" in err
+
+    def test_bench_composes_with_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro import telemetry
+
+        trace_file = tmp_path / "trace.jsonl"
+        metrics_file = tmp_path / "metrics.prom"
+        status = main(
+            [
+                "--bench",
+                "zout_vref",
+                "--trace",
+                str(trace_file),
+                "--metrics",
+                str(metrics_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        rows = telemetry.read_jsonl(trace_file)
+        assert {row["span"] for row in rows} >= {"plan", "solve", "newton_solve"}
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        row = json.loads(bench_lines[0][len("BENCH "):])
+        # --metrics under --bench snapshots exactly the benched work.
+        metrics = metrics_file.read_text()
+        assert f"repro_iterations_total {row['iterations']}" in metrics
