@@ -43,11 +43,15 @@ from .constants import (
 from .errors import (
     ConvergenceError,
     ExtractionError,
+    FaultInjected,
+    ItemTimeout,
     MeasurementError,
     ModelError,
     NetlistError,
     ReproError,
+    WorkerCrash,
 )
+from .resilience import Outcome, RunPolicy
 
 __version__ = "1.0.0"
 
@@ -63,6 +67,11 @@ __all__ = [
     "NetlistError",
     "ConvergenceError",
     "ExtractionError",
+    "FaultInjected",
+    "ItemTimeout",
+    "WorkerCrash",
+    "Outcome",
+    "RunPolicy",
     "MeasurementError",
     "ModelError",
     "__version__",

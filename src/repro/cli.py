@@ -24,9 +24,19 @@ processes (0 = all cores); results are identical to a serial run.
 JSONL; ``--metrics FILE`` writes the solver-counter snapshot in the
 Prometheus text exposition format.  Both compose with ``--bench``.
 
-Exit status is non-zero if any shape check fails, and 2 for usage
-errors (unknown experiment names are reported together with the
-registry).
+``--retries N`` runs each experiment under a supervised
+:class:`~repro.resilience.RunPolicy` (N retries of transient failures,
+failures recorded instead of aborting the batch): a crashed experiment
+is reported with its attempt count and captured exception while the
+rest of the run completes, and the resilience counters (``retries``,
+``timeouts``, ``worker_failures``, ``serial_fallbacks``) appear in the
+bench rows' ``resil=`` segment and the Prometheus export.  Composes
+with the ``REPRO_FAULTS`` deterministic fault-injection spec (see
+:mod:`repro.faultinject`), which only arms under a policy.
+
+Exit status is non-zero if any shape check fails or any experiment
+failed terminally, and 2 for usage errors (unknown experiment names
+are reported together with the registry).
 """
 
 from __future__ import annotations
@@ -94,6 +104,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if error:
         print(error, file=sys.stderr)
         return USAGE_ERROR
+    retries_raw, error = _pop_value_flag(argv, "--retries", "a retry count")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    policy = None
+    if retries_raw is not None:
+        try:
+            retries = int(retries_raw)
+        except ValueError:
+            print(f"--retries needs an integer, got {retries_raw!r}", file=sys.stderr)
+            return USAGE_ERROR
+        from .resilience import RunPolicy
+
+        try:
+            policy = RunPolicy(max_retries=retries, on_failure="record")
+        except Exception as exc:
+            print(f"--retries: {exc}", file=sys.stderr)
+            return USAGE_ERROR
     names = argv or sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
@@ -107,9 +135,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}", file=sys.stderr)
         return USAGE_ERROR
     results = {}
+    failures = {}
     bench_rows = []
     trace_spans = []
     metrics_stats = None
+
+    def run_supervised(name: str, position: int):
+        """Run one experiment under the --retries policy, filing the
+        result or the failure record."""
+        from .resilience import supervised_call
+
+        outcome = supervised_call(
+            lambda: run_experiment(name), index=position, policy=policy
+        )
+        if outcome.ok:
+            results[name] = outcome.value
+        else:
+            failures[name] = outcome
+
     if bench:
         # Timed one-by-one, fully in-process: worker processes would
         # increment their own STATS singletons and the parent snapshot
@@ -127,12 +170,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         detail = "full" if trace_path else "plans"
         metrics_stats = SolverStats()
         try:
-            for name in names:
+            for position, name in enumerate(names):
                 STATS.reset()
                 tracer = telemetry.install_tracer(detail=detail)
                 t0 = time.perf_counter()
                 try:
-                    results[name] = run_experiment(name)
+                    if policy is not None:
+                        run_supervised(name, position)
+                    else:
+                        results[name] = run_experiment(name)
                 finally:
                     telemetry.uninstall_tracer()
                 wall = time.perf_counter() - t0
@@ -157,7 +203,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             if max_workers is not None and max_workers != 1 and len(names) > 1:
                 from .experiments.registry import run_experiments
 
-                results = run_experiments(names, max_workers=max_workers)
+                batch = run_experiments(names, max_workers=max_workers, policy=policy)
+                if policy is None:
+                    results = batch
+                else:
+                    for name, outcome in batch.items():
+                        if outcome is not None and outcome.ok:
+                            results[name] = outcome.value
+                        else:
+                            failures[name] = outcome
+            elif policy is not None:
+                for position, name in enumerate(names):
+                    run_supervised(name, position)
             else:
                 for name in names:
                     results[name] = run_experiment(name)
@@ -166,9 +223,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 telemetry.uninstall_tracer()
                 trace_spans.extend(tracer.roots)
     for name in names:
-        print(render_result(results[name]))
+        if name in results:
+            print(render_result(results[name]))
+        else:
+            outcome = failures.get(name)
+            detail_msg = (
+                f"{outcome.error_type}: {outcome.error} "
+                f"(after {outcome.attempts} attempt(s))"
+                if outcome is not None
+                else "skipped"
+            )
+            print(f"experiment {name} FAILED: {detail_msg}")
     if export_dir is not None:
         for name in names:
+            if name not in results:
+                continue
             path = write_csv(results[name], export_dir)
             print(f"exported {name} -> {path}")
     for row in bench_rows:
@@ -191,6 +260,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['op_cache_warm_starts']}w/"
             f"{row['op_cache_misses']}m  "
             f"plans={row['session_plans']}  "
+            f"resil={row['retries']}r/{row['timeouts']}t/"
+            f"{row['worker_failures']}wf/{row['serial_fallbacks']}sf  "
             f"strategies: {strategies or '-'}"
         )
         print("BENCH " + json.dumps(row, sort_keys=True))
@@ -201,6 +272,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         path = telemetry.write_prometheus(metrics_path, metrics_stats)
         print(f"metrics written -> {path}")
     print(render_summary(results))
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed terminally: "
+            + ", ".join(sorted(failures))
+        )
+        return 1
     return 0 if all(result.passed for result in results.values()) else 1
 
 

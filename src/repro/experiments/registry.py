@@ -6,7 +6,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError, ReproError
-from ..parallel import absorb_worker_telemetry, parallel_map, worker_telemetry
+from ..parallel import (
+    absorb_worker_telemetry,
+    parallel_map,
+    supervised_map,
+    worker_telemetry,
+)
+from ..resilience import RunPolicy
 from ..telemetry import tracer as _tele
 
 #: Registered experiment runners, keyed by experiment id.
@@ -93,7 +99,9 @@ def _run_attributed_task(task: Tuple[str, Optional[str]]):
 
 
 def run_experiments(
-    names: Sequence[str], max_workers: Optional[int] = None
+    names: Sequence[str],
+    max_workers: Optional[int] = None,
+    policy: Optional["RunPolicy"] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the named experiments, optionally fanning out over processes.
 
@@ -105,21 +113,35 @@ def run_experiments(
     STATS counters and trace spans are merged back into this process
     (:func:`repro.parallel.absorb_worker_telemetry`), so fanned and
     serial batches report identical telemetry.
+
+    With a :class:`~repro.resilience.RunPolicy` the batch runs
+    supervised and the mapping's values become per-experiment
+    :class:`~repro.resilience.Outcome` records (indexed by position in
+    ``names``): one crashed figure no longer takes the rest of the
+    regeneration run down with it, retryable failures are re-attempted
+    per the policy, and the active fault-injection plan is honoured.
     """
     for name in names:
         if name not in EXPERIMENTS:
             run_experiment(name)  # raises with the known-experiment list
     detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
-    payloads = parallel_map(
-        _run_attributed_task,
-        [(name, detail) for name in names],
-        max_workers=max_workers,
+    tasks = [(name, detail) for name in names]
+    if policy is None:
+        payloads = parallel_map(_run_attributed_task, tasks, max_workers=max_workers)
+        results = []
+        for result, box in payloads:
+            absorb_worker_telemetry(box)
+            results.append(result)
+        return dict(zip(names, results))
+    outcomes = supervised_map(
+        _run_attributed_task, tasks, policy=policy, max_workers=max_workers
     )
-    results = []
-    for result, box in payloads:
-        absorb_worker_telemetry(box)
-        results.append(result)
-    return dict(zip(names, results))
+    for outcome in outcomes:
+        if outcome is not None and outcome.ok:
+            result, box = outcome.value
+            absorb_worker_telemetry(box)
+            outcome.value = result
+    return dict(zip(names, outcomes))
 
 
 def run_all(max_workers: Optional[int] = None) -> Dict[str, ExperimentResult]:

@@ -1,26 +1,64 @@
-"""Process fan-out helper for independent work items.
+"""Process fan-out for independent work items, with supervised execution.
 
 Every sweep/Monte-Carlo layer in the repo funnels its independent work
-through :func:`parallel_map`, which fans items out over a
-``concurrent.futures`` process pool and degrades gracefully (serial
-execution) when that cannot work: one worker requested, a single item,
-un-picklable payloads, or an environment where spawning processes
-fails.  Work functions must be pure (no side effects) — the fallback
-re-runs them serially from scratch.
+through this module.  Two entry points share one engine:
+
+* :func:`parallel_map` — the drop-in map: results in item order, first
+  work-function exception re-raised unchanged.  Pool *infrastructure*
+  failures (un-picklable payloads, an unspawnable pool, a worker death)
+  degrade gracefully without re-running completed work; a genuine
+  exception raised by ``func`` propagates — it is never masked by a
+  silent serial re-run.
+* :func:`supervised_map` — the resilient map: returns one
+  :class:`~repro.resilience.Outcome` per item (ok / failed / timed-out,
+  with the captured exception, attempt count and worker pid) instead of
+  dying on the first failure, governed by a
+  :class:`~repro.resilience.RunPolicy` (retries with exponential
+  backoff, per-item deadlines, on-failure action).
+
+Failure taxonomy (the fix for the old over-broad fallback): a pool
+worker runs each attempt through an *envelope* that returns the work
+function's exception as data, so any exception raised by the future
+itself is pool infrastructure by construction — payload/result
+pickling, or a broken pool.  Infrastructure failures fall back to
+in-process execution **for the affected items only** (counted in
+``STATS.serial_fallbacks``); a mid-run ``BrokenProcessPool`` retries
+**only the unfinished items** (never the completed ones), rebuilding
+the pool up to ``RunPolicy.max_pool_rebuilds`` times before finishing
+serially, and warns naming the cause.
 
 Worker-count resolution: an explicit ``max_workers`` wins; otherwise the
 ``REPRO_WORKERS`` environment variable; otherwise serial.  ``0`` (or any
 non-positive count) means "all cores".  Serial-by-default keeps test
 runs and single-core CI deterministic-by-construction and free of pool
 startup cost; batch jobs opt in with ``REPRO_WORKERS=0`` (or a count).
+
+Deterministic fault injection (:mod:`repro.faultinject`) is consulted
+only when a caller passes an explicit policy to :func:`supervised_map`
+(or uses :func:`~repro.resilience.supervised_call` directly), so a
+standing ``REPRO_FAULTS`` plan can never perturb plain
+:func:`parallel_map` traffic.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
+import time
+import warnings
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from . import faultinject
+from .errors import ItemTimeout
+from .resilience.outcome import OK, Outcome, SKIPPED
+from .resilience.policy import RunPolicy
+from .resilience.supervisor import (
+    attempt_in_worker,
+    count_failure,
+    failure_status,
+    record_retry,
+    supervised_call,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -41,6 +79,322 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
     return max_workers
 
 
+def _stats():
+    from .spice.stats import STATS
+
+    return STATS
+
+
+def _tracer():
+    from .telemetry import tracer as _tele
+
+    return _tele.ACTIVE
+
+
+#: The compatibility policy :func:`parallel_map` supervises under:
+#: legacy semantics exactly — no retries, no deadline, first work
+#: failure re-raised.
+_COMPAT_POLICY = RunPolicy(on_failure="raise")
+
+
+class _Supervisor:
+    """One supervised_map run: the wave loop over a process pool."""
+
+    def __init__(
+        self,
+        func: Callable,
+        work: Sequence,
+        policy: RunPolicy,
+        workers: int,
+        fault_spec: Optional[str],
+    ):
+        self.func = func
+        self.work = work
+        self.policy = policy
+        self.workers = workers
+        self.fault_spec = fault_spec
+        self.outcomes: List[Optional[Outcome]] = [None] * len(work)
+        self.t0 = [None] * len(work)  # first-submission clock per item
+        self.retry_next: List = []  # (index, attempt, error) of this wave
+
+    # -- shared finalization -------------------------------------------
+    def _wall(self, index: int) -> float:
+        t0 = self.t0[index]
+        return 0.0 if t0 is None else time.perf_counter() - t0
+
+    def _finalize_failure(self, index, attempt, error, pid, traceback=""):
+        status = failure_status(error)
+        if self.policy.on_failure == "skip":
+            status = SKIPPED
+        self.outcomes[index] = Outcome(
+            index=index,
+            status=status,
+            error=error,
+            attempts=attempt,
+            worker_pid=pid,
+            wall_s=self._wall(index),
+            traceback=traceback,
+        )
+
+    def _handle_failure(self, index, attempt, error, pid, traceback=""):
+        """Classify one failed attempt: count it, then retry or finalize."""
+        count_failure(error)
+        if self.policy.is_retryable(error) and attempt < self.policy.max_attempts:
+            self.retry_next.append((index, attempt, error))
+        else:
+            self._finalize_failure(index, attempt, error, pid, traceback)
+
+    def _handle_envelope(self, envelope: dict, index: int, attempt: int) -> None:
+        if envelope["ok"]:
+            self.outcomes[index] = Outcome(
+                index=index,
+                status=OK,
+                value=envelope["value"],
+                attempts=attempt,
+                worker_pid=envelope["pid"],
+                wall_s=self._wall(index),
+            )
+        else:
+            self._handle_failure(
+                index,
+                attempt,
+                envelope["error"],
+                envelope["pid"],
+                envelope.get("traceback", ""),
+            )
+
+    def _run_in_process(self, index: int, attempt: int) -> None:
+        """Finish one item in-process, continuing at ``attempt``."""
+        item = self.work[index]
+        self.outcomes[index] = supervised_call(
+            lambda: self.func(item),
+            index=index,
+            policy=self.policy,
+            fault_spec=self.fault_spec,
+            start_attempt=attempt,
+        )
+
+    def _serial_fallback(self, pairs, cause: str, warn: bool) -> None:
+        _stats().serial_fallbacks += 1
+        if warn:
+            warnings.warn(
+                f"parallel fan-out degraded to serial execution for "
+                f"{len(pairs)} item(s): {cause}",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        for index, attempt in pairs:
+            self._run_in_process(index, attempt)
+
+    # -- the pool wave loop --------------------------------------------
+    def run_pool(self) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        todo = [(index, 1) for index in range(len(self.work))]
+        pool = None
+        rebuilds_left = self.policy.max_pool_rebuilds
+        try:
+            while todo:
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
+                    except (OSError, ImportError) as exc:
+                        # Cannot spawn at all (sandbox, resource limits):
+                        # the classic quiet degradation — work is pure,
+                        # so in-process execution is a correct answer.
+                        self._serial_fallback(
+                            todo, f"process pool unavailable ({exc})", warn=False
+                        )
+                        return
+                futures = []
+                broken: Optional[BaseException] = None
+                try:
+                    for index, attempt in todo:
+                        if self.t0[index] is None:
+                            self.t0[index] = time.perf_counter()
+                        payload = (
+                            self.func, self.work[index], index, attempt,
+                            self.fault_spec,
+                        )
+                        futures.append(
+                            (pool.submit(attempt_in_worker, payload), index, attempt)
+                        )
+                except BrokenProcessPool as exc:
+                    broken = exc
+                self.retry_next = []
+                unfinished: List = []
+                submitted = {index for _f, index, _a in futures}
+                unfinished.extend(p for p in todo if p[0] not in submitted)
+                for position, (future, index, attempt) in enumerate(futures):
+                    if broken is not None:
+                        # The pool died: salvage every attempt that DID
+                        # finish (completed work is never re-run), queue
+                        # the rest.
+                        if future.done():
+                            try:
+                                envelope = future.result(timeout=0)
+                            except Exception:
+                                unfinished.append((index, attempt))
+                                continue
+                            self._handle_envelope(envelope, index, attempt)
+                        else:
+                            unfinished.append((index, attempt))
+                        continue
+                    try:
+                        envelope = future.result(timeout=self.policy.timeout_s)
+                    except FuturesTimeout:
+                        error = ItemTimeout(
+                            f"work item {index} exceeded its "
+                            f"{self.policy.timeout_s} s deadline (attempt {attempt})"
+                        )
+                        self._handle_failure(index, attempt, error, None)
+                        continue
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        unfinished.append((index, attempt))
+                        continue
+                    except Exception:
+                        # By construction (see attempt_in_worker) this is
+                        # pool infrastructure — payload or result could
+                        # not cross the pool.  Finish this item
+                        # in-process; the others keep their workers.
+                        self._serial_fallback(
+                            [(index, attempt)],
+                            "item payload/result could not cross the pool",
+                            warn=False,
+                        )
+                        continue
+                    self._handle_envelope(envelope, index, attempt)
+                if broken is not None:
+                    _stats().worker_failures += 1
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    done = len(self.work) - len(unfinished) - len(self.retry_next)
+                    if rebuilds_left > 0:
+                        rebuilds_left -= 1
+                        warnings.warn(
+                            f"process pool died mid-run ({type(broken).__name__}: "
+                            f"{broken}); rebuilding the pool for "
+                            f"{len(unfinished)} unfinished item(s) "
+                            f"({done} completed item(s) kept)",
+                            RuntimeWarning,
+                            stacklevel=3,
+                        )
+                        # Breakage is not the items' fault: attempts are
+                        # not charged, so a retry budget is never eaten
+                        # by an innocent bystander.
+                        todo = unfinished + [
+                            (index, attempt + 1)
+                            for index, attempt, _err in self.retry_next
+                        ]
+                        for index, attempt, error in self.retry_next:
+                            record_retry(self.policy, index, attempt, error)
+                        continue
+                    warnings.warn(
+                        f"process pool died mid-run ({type(broken).__name__}: "
+                        f"{broken}) with the rebuild budget spent; finishing "
+                        f"{len(unfinished)} unfinished item(s) serially "
+                        f"({done} completed item(s) kept)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    retries = self.retry_next
+                    self.retry_next = []
+                    self._serial_fallback(
+                        unfinished, "pool rebuild budget spent", warn=False
+                    )
+                    for index, attempt, error in retries:
+                        record_retry(self.policy, index, attempt, error)
+                        self._run_in_process(index, attempt + 1)
+                    return
+                if self.retry_next:
+                    for index, attempt, error in self.retry_next:
+                        record_retry(self.policy, index, attempt, error)
+                    todo = [
+                        (index, attempt + 1)
+                        for index, attempt, _err in self.retry_next
+                    ]
+                else:
+                    todo = []
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+
+def supervised_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    policy: Optional[RunPolicy] = None,
+    max_workers: Optional[int] = None,
+) -> List[Outcome]:
+    """Map ``func`` over ``items`` under supervision; one Outcome each.
+
+    Outcomes come back in item order.  With ``policy=None`` the
+    compatibility policy applies (no retries, no deadline, first work
+    failure re-raised — exactly :func:`parallel_map`) and fault
+    injection is disarmed; with an explicit policy, failures become
+    per-item records per the policy's on-failure action and the active
+    :mod:`repro.faultinject` plan is honoured.
+
+    Semantics are identical for serial and fanned execution (the
+    fault-injection suite pins this): retries and backoff always run in
+    the submitting process, a worker runs exactly one attempt per
+    submission, and the resilience counters (``retries``, ``timeouts``,
+    ``worker_failures``, ``serial_fallbacks``) move the same way on
+    both paths.  The only pool-specific events are a real
+    ``BrokenProcessPool`` (unfinished items are retried without being
+    charged an attempt, completed ones are kept) and per-item
+    payload/result pickling failures (finished in-process, counted as
+    serial fallbacks).
+    """
+    armed = policy is not None
+    policy = policy if policy is not None else _COMPAT_POLICY
+    work: Sequence[T] = list(items)
+    fault_spec = faultinject.active_spec() if armed else None
+    workers = min(resolve_workers(max_workers), len(work))
+    pooled = workers > 1 and len(work) > 1
+
+    def run() -> List[Outcome]:
+        if not pooled:
+            return [
+                supervised_call(
+                    lambda item=item: func(item),
+                    index=index,
+                    policy=policy,
+                    fault_spec=fault_spec,
+                )
+                for index, item in enumerate(work)
+            ]
+        supervisor = _Supervisor(func, work, policy, workers, fault_spec)
+        supervisor.run_pool()
+        if policy.on_failure == "raise":
+            for outcome in supervisor.outcomes:
+                if outcome is not None and not outcome.ok:
+                    raise outcome.error
+        return supervisor.outcomes
+
+    # Compat mode stays span-silent: parallel_map's serial fast path
+    # never traced, and fanned-vs-serial trace equality is a pinned
+    # contract of the telemetry suite.
+    trc = _tracer() if armed else None
+    if trc is None:
+        return run()
+    with trc.span(
+        "supervised_map",
+        items=len(work),
+        workers=workers,
+        mode="pool" if pooled else "serial",
+    ) as span:
+        outcomes = run()
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        span.attrs.update(counts)
+        return outcomes
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Iterable[T],
@@ -50,29 +404,17 @@ def parallel_map(
 
     Results come back in item order, exactly as ``[func(i) for i in
     items]`` would produce them — parallelism never changes the answer,
-    only the wall clock.  Falls back to the serial map whenever the
-    pool cannot be used.
+    only the wall clock.  Pool-infrastructure failures degrade to
+    in-process execution (completed items are never re-run); a genuine
+    error *raised by func* re-raises unchanged — it is never masked by
+    a serial re-run of expensive (or side-effectful) work.
     """
     work: Sequence[T] = list(items)
     workers = min(resolve_workers(max_workers), len(work))
     if workers <= 1 or len(work) <= 1:
         return [func(item) for item in work]
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(func, work))
-    except (pickle.PicklingError, AttributeError, TypeError,
-            BrokenProcessPool, OSError, ImportError):
-        # Pool-infrastructure failures only: un-picklable payloads
-        # (PicklingError / "Can't pickle local object" AttributeError /
-        # TypeError), a broken or unspawnable pool, or a sandbox that
-        # forbids forking.  The work itself is pure, so rerunning it
-        # serially is a correct (if slower) answer.  A genuine error
-        # *raised by func* inside a worker re-raises unchanged instead
-        # of silently doubling the work on the failure path.
-        return [func(item) for item in work]
+    outcomes = supervised_map(func, work, policy=None, max_workers=workers)
+    return [outcome.value for outcome in outcomes]
 
 
 # ----------------------------------------------------------------------

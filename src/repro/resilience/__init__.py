@@ -1,0 +1,49 @@
+"""Supervised execution: failure as a first-class, attributed outcome.
+
+Before this layer, one ``ConvergenceError`` in Monte-Carlo trial 7412
+aborted the whole run, one worker exception killed an entire
+``parallel_map`` batch, and a mid-run pool death silently re-ran every
+item serially.  The resilience layer makes every recovery decision
+explicit, bounded, and visible:
+
+* :class:`RunPolicy` — the declarative knob set: retry budget,
+  exponential backoff (injectable sleep), per-item deadline, and the
+  on-failure action (``raise`` | ``skip`` | ``record``).
+* :class:`Outcome` — the per-item record supervised execution returns
+  instead of dying: status (``ok`` / ``failed`` / ``timed_out`` /
+  ``skipped``), the captured exception (pickled home from the worker,
+  with a :class:`CapturedFailure` stand-in when the exception itself
+  cannot cross the pool), attempt count, and worker pid.
+* :func:`supervised_call` — the single-item primitive: run a thunk
+  under a policy (retry loop, backoff, deadline, deterministic fault
+  injection via :mod:`repro.faultinject`).
+* :func:`repro.parallel.supervised_map` — the fan-out form: per-item
+  outcomes over a process pool, distinguishing submission-time
+  infrastructure failures (fall back serially, counted) from mid-run
+  worker crashes (retry only the unfinished items, never the completed
+  ones).
+
+Every decision lands in :data:`repro.spice.stats.STATS` (``retries``,
+``timeouts``, ``worker_failures``, ``serial_fallbacks``) and — when a
+tracer is installed — in ``supervised``/``retry`` telemetry spans, so
+``--bench``, ``--trace`` and ``--metrics`` all show recovery activity.
+
+The upward wiring: ``Session.run_many`` / ``run_plans`` accept a
+policy and return partial results with failure records; a
+:class:`~repro.spice.plans.MonteCarlo` plan carries its own policy and
+degrades gracefully (``MonteCarloResult.failed_trials`` attributes the
+exact trial index and exception of every casualty);
+``registry.run_experiments`` reports per-experiment outcomes.
+"""
+
+from .outcome import CapturedFailure, Outcome, capture_error
+from .policy import RunPolicy
+from .supervisor import supervised_call
+
+__all__ = [
+    "CapturedFailure",
+    "Outcome",
+    "RunPolicy",
+    "capture_error",
+    "supervised_call",
+]

@@ -1,0 +1,212 @@
+"""The supervised-attempt engine shared by serial and fanned execution.
+
+One code path owns the semantics — attempt numbering, fault injection,
+retry classification, exponential backoff, deadline enforcement, STATS
+accounting, retry telemetry — and two transports reuse it:
+:func:`supervised_call` runs a thunk in-process (the serial path and
+the per-trial Monte-Carlo supervisor), while
+:func:`repro.parallel.supervised_map` ships single attempts into pool
+workers via :func:`attempt_in_worker` and feeds the failures back
+through the same classification helpers.
+
+Retries always happen in the *submitting* process: a pool worker runs
+exactly one attempt per submission and returns an envelope (result or
+captured exception plus its pid), so attempt counts, backoff sleeps and
+the ``retries``/``timeouts``/``worker_failures`` counters are identical
+for serial and fanned execution — the property the fault-injection
+suite pins.
+
+Lazy imports of ``STATS`` and the telemetry tracer keep this module out
+of the ``repro.spice`` import graph (same convention as
+:mod:`repro.parallel`, which sits below the session layer).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from .. import faultinject
+from ..errors import ItemTimeout, WorkerCrash
+from .outcome import (
+    FAILED,
+    OK,
+    SKIPPED,
+    TIMED_OUT,
+    Outcome,
+    capture_error,
+    format_traceback,
+)
+from .policy import RunPolicy
+
+
+def _stats():
+    from ..spice.stats import STATS
+
+    return STATS
+
+
+def _tracer():
+    from ..telemetry import tracer as _tele
+
+    return _tele.ACTIVE
+
+
+def record_retry(
+    policy: RunPolicy, index: int, attempt: int, reason: BaseException
+) -> None:
+    """Account one retry decision: counter, telemetry span, backoff.
+
+    ``attempt`` is the attempt that just failed; the backoff precedes
+    attempt + 1.  The ``retry`` span wraps the backoff sleep, so its
+    duration is the recovery latency the policy injected.
+    """
+    _stats().retries += 1
+    backoff = policy.backoff_for(attempt)
+    trc = _tracer()
+    if trc is not None:
+        with trc.span(
+            "retry",
+            item=index,
+            attempt=attempt + 1,
+            backoff_s=backoff,
+            reason=type(reason).__name__,
+        ):
+            policy.do_sleep(backoff)
+    else:
+        policy.do_sleep(backoff)
+
+
+def failure_status(error: BaseException) -> str:
+    """The outcome status a terminal failure maps to (pure)."""
+    return TIMED_OUT if isinstance(error, ItemTimeout) else FAILED
+
+
+def count_failure(error: BaseException) -> None:
+    """Account one failed attempt's STATS movement (every failure event
+    counts, retried or terminal — the counters measure recovery
+    activity, not just final state)."""
+    if isinstance(error, ItemTimeout):
+        _stats().timeouts += 1
+    elif isinstance(error, WorkerCrash):
+        _stats().worker_failures += 1
+
+
+def _call_with_deadline(thunk: Callable[[], Any], timeout_s: Optional[float]) -> Any:
+    """Run ``thunk``, raising :class:`ItemTimeout` past the deadline.
+
+    The serial transport's deadline: the work runs on a daemon watchdog
+    thread and is *abandoned* (not killed) on expiry — safe for the
+    library's pure work functions, but a reason to keep ``timeout_s``
+    off for work that mutates shared state in place.
+    """
+    if timeout_s is None:
+        return thunk()
+    box: dict = {}
+
+    def runner():
+        try:
+            box["value"] = thunk()
+        except BaseException as exc:  # ships the real error to the caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True, name="repro-deadline")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise ItemTimeout(f"work item exceeded its {timeout_s} s deadline")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def supervised_call(
+    thunk: Callable[[], Any],
+    index: int = 0,
+    policy: Optional[RunPolicy] = None,
+    fault_spec: Optional[str] = "__active__",
+    start_attempt: int = 1,
+) -> Outcome:
+    """Run one thunk under a policy; returns its :class:`Outcome`.
+
+    The in-process supervised primitive: consults the fault plan before
+    each attempt (``fault_spec`` defaults to the active plan; pass
+    ``None`` to disarm injection, e.g. from compatibility shims),
+    enforces the deadline, retries retryable failures with backoff, and
+    classifies the terminal result.  ``on_failure="raise"`` re-raises
+    the original exception after the retry budget is spent.
+    ``start_attempt`` lets the pool supervisor hand an item over
+    mid-retry-budget without resetting its attempt count.
+    """
+    policy = policy or RunPolicy()
+    if fault_spec == "__active__":
+        fault_spec = faultinject.active_spec()
+    t0 = time.perf_counter()
+    attempt = start_attempt
+    while True:
+        try:
+            if fault_spec is not None:
+                faultinject.check(index, attempt, spec=fault_spec)
+            value = _call_with_deadline(thunk, policy.timeout_s)
+            return Outcome(
+                index=index,
+                status=OK,
+                value=value,
+                attempts=attempt,
+                worker_pid=os.getpid(),
+                wall_s=time.perf_counter() - t0,
+            )
+        except Exception as exc:
+            status = failure_status(exc)
+            count_failure(exc)
+            if policy.is_retryable(exc) and attempt < policy.max_attempts:
+                record_retry(policy, index, attempt, exc)
+                attempt += 1
+                continue
+            if policy.on_failure == "raise":
+                raise
+            return Outcome(
+                index=index,
+                status=SKIPPED if policy.on_failure == "skip" else status,
+                error=capture_error(exc),
+                attempts=attempt,
+                worker_pid=os.getpid(),
+                wall_s=time.perf_counter() - t0,
+                traceback=format_traceback(exc),
+            )
+
+
+def attempt_in_worker(payload) -> dict:
+    """One supervised attempt, pool-worker side: an envelope, never a raise.
+
+    ``payload`` is ``(func, item, index, attempt, fault_spec)``.  The
+    work function's exception comes home *inside* the envelope (pickled
+    when possible, a :class:`CapturedFailure` stand-in otherwise), so
+    any exception raised by the future itself is — by construction —
+    pool infrastructure: payload/result pickling or a broken pool.
+    That is what lets the supervisor classify failures without
+    guessing from exception types.
+    """
+    func, item, index, attempt, fault_spec = payload
+    try:
+        if fault_spec is not None:
+            faultinject.check(index, attempt, spec=fault_spec)
+        return {"ok": True, "value": func(item), "pid": os.getpid()}
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": capture_error(exc),
+            "traceback": format_traceback(exc),
+            "pid": os.getpid(),
+        }
+
+
+__all__ = [
+    "attempt_in_worker",
+    "count_failure",
+    "failure_status",
+    "record_retry",
+    "supervised_call",
+]

@@ -139,7 +139,11 @@ class AnalysisPlan:
     def describe(self) -> dict:
         """JSON-ready summary of the plan (used by result ``to_dict``)."""
         def jsonable(value):
+            from ..resilience.policy import RunPolicy
+
             if isinstance(value, AnalysisPlan):
+                return value.describe()
+            if isinstance(value, RunPolicy):
                 return value.describe()
             if isinstance(value, (SolverOptions, TransientOptions)):
                 return type(value).__name__
@@ -288,12 +292,22 @@ class MonteCarlo(AnalysisPlan):
     planner can check every trial's elements/attributes (and conflicts
     against the inner plan's own overrides) before the first solve, and
     the whole lot can fan out across processes.
+
+    ``policy`` (a :class:`~repro.resilience.RunPolicy`) makes the run
+    degrade gracefully: each trial executes under supervision, failed
+    trials land in ``MonteCarloResult.failed_trials`` with their exact
+    trial index and captured exception (instead of one casualty
+    aborting the whole population), and transient failures are retried
+    per the policy.  ``None`` keeps the fail-fast legacy semantics.
+    The policy must be picklable to fan out (leave its ``sleep`` hook
+    unset).
     """
 
     inner: AnalysisPlan = None
     trials: Tuple[Overrides, ...] = ()
     overrides: Overrides = ()
     record: Tuple[str, ...] = ()
+    policy: Optional["RunPolicy"] = None
 
     def __post_init__(self):
         if not isinstance(self.inner, AnalysisPlan):
@@ -302,6 +316,14 @@ class MonteCarlo(AnalysisPlan):
             raise PlanError("MonteCarlo plans do not nest")
         if not self.trials:
             raise PlanError("MonteCarlo trials grid is empty")
+        if self.policy is not None:
+            from ..resilience.policy import RunPolicy
+
+            if not isinstance(self.policy, RunPolicy):
+                raise PlanError(
+                    f"MonteCarlo policy must be a RunPolicy, "
+                    f"got {type(self.policy).__name__}"
+                )
         object.__setattr__(
             self,
             "trials",

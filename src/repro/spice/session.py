@@ -59,7 +59,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from ..errors import NetlistError, PlanError
-from ..parallel import absorb_worker_telemetry, parallel_map, resolve_workers, worker_telemetry
+from ..parallel import (
+    absorb_worker_telemetry,
+    parallel_map,
+    resolve_workers,
+    supervised_map,
+    worker_telemetry,
+)
+from ..resilience import Outcome, RunPolicy
+from ..resilience.supervisor import supervised_call
 from ..telemetry import tracer as _tele
 from .ac import ACSystem
 from .analysis import ACResult, OperatingPoint, SweepResult, _wrap_point
@@ -515,16 +523,47 @@ class TransientRunResult(AnalysisResult):
 
 
 class MonteCarloResult(AnalysisResult):
-    """Per-trial results of a :class:`~repro.spice.plans.MonteCarlo` plan."""
+    """Per-trial results of a :class:`~repro.spice.plans.MonteCarlo` plan.
+
+    With a :class:`~repro.resilience.RunPolicy` on the plan the
+    population may be *partial*: ``results`` holds the successful
+    trials only, ``trial_indices[i]`` names the original trial each
+    ``results[i]`` came from, and ``failed_trials`` carries one
+    :class:`~repro.resilience.Outcome` per casualty — the exact trial
+    index, captured exception, attempt count and worker pid.  Without a
+    policy the run is all-or-nothing and ``trial_indices`` is simply
+    ``0..n-1``.
+    """
 
     kind = "montecarlo"
 
-    def __init__(self, session, plan, results: List[AnalysisResult]):
+    def __init__(
+        self,
+        session,
+        plan,
+        results: List[AnalysisResult],
+        trial_indices: Optional[Sequence[int]] = None,
+        failed_trials: Sequence[Outcome] = (),
+    ):
         super().__init__(session, plan)
         self.results = results
+        self.trial_indices: Tuple[int, ...] = (
+            tuple(range(len(results)))
+            if trial_indices is None
+            else tuple(int(i) for i in trial_indices)
+        )
+        self.failed_trials: Tuple[Outcome, ...] = tuple(failed_trials)
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_trials
+
+    def failed_indices(self) -> Tuple[int, ...]:
+        """The original trial indices that produced no result."""
+        return tuple(outcome.index for outcome in self.failed_trials)
 
     def voltage(self, node: str) -> np.ndarray:
         return np.array([r.voltage(node) for r in self.results])
@@ -535,6 +574,9 @@ class MonteCarloResult(AnalysisResult):
     def to_dict(self) -> dict:
         out = self._base_dict()
         out["trials"] = [r.to_dict() for r in self.results]
+        if self.failed_trials or self.trial_indices != tuple(range(len(self.results))):
+            out["trial_indices"] = list(self.trial_indices)
+            out["failed_trials"] = [o.to_dict() for o in self.failed_trials]
         return out
 
 
@@ -800,6 +842,7 @@ class Session:
         self,
         plans: Sequence[AnalysisPlan],
         workers: Optional[int] = None,
+        policy: Optional[RunPolicy] = None,
     ) -> List[AnalysisResult]:
         """Run several plans against this topology.
 
@@ -808,13 +851,31 @@ class Session:
         off earlier ones); with ``workers`` > 1 — or ``REPRO_WORKERS``
         set — builder-backed sessions fan plans out across processes and
         merge the workers' solved points back into this cache.
+
+        With a :class:`~repro.resilience.RunPolicy` the batch runs
+        supervised and returns one :class:`~repro.resilience.Outcome`
+        per plan instead of raw results: a failed plan becomes a failure
+        record (per the policy's on-failure action) rather than killing
+        the batch, retryable errors are re-attempted with backoff, and
+        the active fault-injection plan is honoured (indexed by plan
+        position).  ``policy.on_failure == "raise"`` keeps fail-fast
+        semantics while still retrying.
         """
         plans = list(plans)
         for plan in plans:
             self.validate(plan)
         effective = min(resolve_workers(workers), len(plans))
         if effective <= 1 or len(plans) <= 1 or self._builder is None:
-            return [self.run(plan) for plan in plans]
+            if policy is None:
+                return [self.run(plan) for plan in plans]
+            return [
+                supervised_call(
+                    lambda plan=plan: self.run(plan),
+                    index=index,
+                    policy=policy,
+                )
+                for index, plan in enumerate(plans)
+            ]
         # Each worker session is seeded with THIS session's cache
         # snapshot, so fanned plans still warm-start off everything the
         # session solved before the call.  What fan-out cannot give is
@@ -825,16 +886,25 @@ class Session:
         recipe = self.recipe()
         seed = self.cache.export()
         detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
-        payloads = parallel_map(
-            _run_plans_task,
-            [(recipe, (plan,), seed, detail) for plan in plans],
-            max_workers=workers,
+        tasks = [(recipe, (plan,), seed, detail) for plan in plans]
+        if policy is None:
+            payloads = parallel_map(_run_plans_task, tasks, max_workers=workers)
+            results = []
+            for plan, payload in zip(plans, payloads):
+                self._absorb_payload(payload)
+                results.append(_result_from_payload(self, plan, payload["results"][0]))
+            return results
+        outcomes = supervised_map(
+            _run_plans_task, tasks, policy=policy, max_workers=workers
         )
-        results = []
-        for plan, payload in zip(plans, payloads):
-            self._absorb_payload(payload)
-            results.append(_result_from_payload(self, plan, payload["results"][0]))
-        return results
+        for plan, outcome in zip(plans, outcomes):
+            if outcome is not None and outcome.ok:
+                payload = outcome.value
+                self._absorb_payload(payload)
+                outcome.value = _result_from_payload(
+                    self, plan, payload["results"][0]
+                )
+        return outcomes
 
     def _absorb_payload(self, payload: dict) -> None:
         """Fold a worker session's state into this one: solved points,
@@ -989,10 +1059,33 @@ class Session:
         return TransientRunResult(self, plan, result)
 
     def _run_montecarlo(self, plan: MonteCarlo) -> MonteCarloResult:
-        results: List[AnalysisResult] = []
-        for trial in plan.trials:
-            results.append(self.run(plan.trial_plan(trial)))
-        return MonteCarloResult(self, plan, results)
+        if plan.policy is None:
+            results: List[AnalysisResult] = []
+            for trial in plan.trials:
+                results.append(self.run(plan.trial_plan(trial)))
+            return MonteCarloResult(self, plan, results)
+        # Supervised population: every trial runs under the plan's
+        # policy (retries, deadline, deterministic fault injection keyed
+        # by trial index), and a terminal casualty costs exactly its own
+        # trial — the survivors ship with precise attribution of the
+        # dead.  ``on_failure="raise"`` restores fail-fast inside
+        # supervised_call.
+        outcomes = [
+            supervised_call(
+                lambda trial=trial: self.run(plan.trial_plan(trial)),
+                index=index,
+                policy=plan.policy,
+            )
+            for index, trial in enumerate(plan.trials)
+        ]
+        survivors = [outcome for outcome in outcomes if outcome.ok]
+        return MonteCarloResult(
+            self,
+            plan,
+            [outcome.value for outcome in survivors],
+            trial_indices=[outcome.index for outcome in survivors],
+            failed_trials=[outcome for outcome in outcomes if not outcome.ok],
+        )
 
 
 # ----------------------------------------------------------------------
@@ -1051,10 +1144,25 @@ def _run_plans_task(task) -> dict:
     }
 
 
+def _pair_outcome(group_outcome: Outcome, pair_index: int, value=None) -> Outcome:
+    """Project a group-level Outcome onto one of its member pairs."""
+    return Outcome(
+        index=pair_index,
+        status=group_outcome.status,
+        value=value,
+        error=group_outcome.error,
+        attempts=group_outcome.attempts,
+        worker_pid=group_outcome.worker_pid,
+        wall_s=group_outcome.wall_s,
+        traceback=group_outcome.traceback,
+    )
+
+
 def run_plans(
     pairs: Sequence[Tuple[SessionRecipe, AnalysisPlan]],
     workers: Optional[int] = None,
     share_sessions: bool = True,
+    policy: Optional[RunPolicy] = None,
 ) -> List[AnalysisResult]:
     """Run ``(recipe, plan)`` pairs, batching compatible plans.
 
@@ -1070,6 +1178,15 @@ def run_plans(
     ``share_sessions=False`` pins one fresh session per pair — the
     legacy chain-layer semantics the deprecation shims preserve, where
     identical chains never see each other's warm starts.
+
+    With a :class:`~repro.resilience.RunPolicy` the batch runs
+    supervised and returns one :class:`~repro.resilience.Outcome` per
+    pair.  The supervision unit is the session *group* (the atom of
+    both execution paths), indexed by group ordinal — with
+    ``share_sessions=False`` that is simply the pair index.  A failed
+    group yields one failure record per member pair; retries re-run the
+    whole group.  The same policy supervises the serial and fanned
+    paths, so outcomes, attempt counts and resilience counters match.
     """
     pairs = list(pairs)
     groups: List[Tuple[SessionRecipe, List[int]]] = []
@@ -1093,22 +1210,58 @@ def run_plans(
     results: List[Optional[AnalysisResult]] = [None] * len(pairs)
     effective = min(resolve_workers(workers), len(groups))
     if effective <= 1 or len(groups) <= 1:
-        for session, (_recipe, indices) in zip(sessions, groups):
-            for index in indices:
-                results[index] = session.run(pairs[index][1])
+        if policy is None:
+            for session, (_recipe, indices) in zip(sessions, groups):
+                for index in indices:
+                    results[index] = session.run(pairs[index][1])
+            return results
+        for group_index, (session, (_recipe, indices)) in enumerate(
+            zip(sessions, groups)
+        ):
+            outcome = supervised_call(
+                lambda session=session, indices=indices: [
+                    session.run(pairs[index][1]) for index in indices
+                ],
+                index=group_index,
+                policy=policy,
+            )
+            for position, index in enumerate(indices):
+                results[index] = _pair_outcome(
+                    outcome,
+                    index,
+                    outcome.value[position] if outcome.ok else None,
+                )
         return results
     detail = None if _tele.ACTIVE is None else _tele.ACTIVE.detail
     tasks = [
         (recipe, tuple(pairs[index][1] for index in indices), None, detail)
         for recipe, indices in groups
     ]
-    payloads = parallel_map(_run_plans_task, tasks, max_workers=workers)
-    for session, (_recipe, indices), payload in zip(sessions, groups, payloads):
-        session._absorb_payload(payload)
-        for index, result_payload in zip(indices, payload["results"]):
-            results[index] = _result_from_payload(
-                session, pairs[index][1], result_payload
-            )
+    if policy is None:
+        payloads = parallel_map(_run_plans_task, tasks, max_workers=workers)
+        for session, (_recipe, indices), payload in zip(sessions, groups, payloads):
+            session._absorb_payload(payload)
+            for index, result_payload in zip(indices, payload["results"]):
+                results[index] = _result_from_payload(
+                    session, pairs[index][1], result_payload
+                )
+        return results
+    outcomes = supervised_map(
+        _run_plans_task, tasks, policy=policy, max_workers=workers
+    )
+    for session, (_recipe, indices), outcome in zip(sessions, groups, outcomes):
+        if outcome is not None and outcome.ok:
+            payload = outcome.value
+            session._absorb_payload(payload)
+            for index, result_payload in zip(indices, payload["results"]):
+                results[index] = _pair_outcome(
+                    outcome,
+                    index,
+                    _result_from_payload(session, pairs[index][1], result_payload),
+                )
+        elif outcome is not None:
+            for index in indices:
+                results[index] = _pair_outcome(outcome, index)
     return results
 
 
@@ -1167,9 +1320,13 @@ def _payload_from_result(result: AnalysisResult) -> dict:
             "lu_reuses": res.lu_reuses,
         }
     if isinstance(result, MonteCarloResult):
+        # Outcomes are picklable by construction (worker exceptions are
+        # capture_error'd), so failure attribution survives the trip.
         return {
             "kind": "mc",
             "inner": [_payload_from_result(r) for r in result.results],
+            "trial_indices": result.trial_indices,
+            "failed": result.failed_trials,
         }
     raise NetlistError(f"cannot serialise result kind {type(result).__name__}")
 
@@ -1244,11 +1401,22 @@ def _result_from_payload(session: Session, plan: AnalysisPlan, payload: dict):
         )
         return TransientRunResult(session, plan, result)
     if kind == "mc":
+        trial_indices = payload.get("trial_indices")
+        if trial_indices is None:
+            trial_indices = tuple(range(len(payload["inner"])))
         inner_results = [
-            _result_from_payload(session, plan.trial_plan(trial), inner)
-            for trial, inner in zip(plan.trials, payload["inner"])
+            _result_from_payload(
+                session, plan.trial_plan(plan.trials[trial_index]), inner
+            )
+            for trial_index, inner in zip(trial_indices, payload["inner"])
         ]
-        return MonteCarloResult(session, plan, inner_results)
+        return MonteCarloResult(
+            session,
+            plan,
+            inner_results,
+            trial_indices=trial_indices,
+            failed_trials=payload.get("failed", ()),
+        )
     raise NetlistError(f"cannot rehydrate result kind {kind!r}")
 
 

@@ -64,6 +64,22 @@ class SolverStats:
     op_cache_misses: int = 0
     #: Analysis plans executed through ``Session.run``.
     session_plans: int = 0
+    #: Supervised work items re-attempted after a retryable failure
+    #: (one increment per retry attempt, parent-side — identical for
+    #: serial and fanned execution).
+    retries: int = 0
+    #: Supervised work items that exceeded their ``RunPolicy`` deadline
+    #: (counted per expiry, so a timeout that is then retried and times
+    #: out again counts twice).
+    timeouts: int = 0
+    #: Worker-process deaths observed by the supervised layer: one per
+    #: ``BrokenProcessPool`` event, plus one per simulated/injected
+    #: :class:`~repro.errors.WorkerCrash`.
+    worker_failures: int = 0
+    #: Times the parallel layer abandoned a process pool and fell back
+    #: to in-process serial execution (unspawnable pool, un-picklable
+    #: payload/result, or pool-rebuild budget exhausted).
+    serial_fallbacks: int = 0
     #: Successful DC strategies, keyed by ``RawSolution.strategy``.
     strategies: Dict[str, int] = field(default_factory=dict)
 

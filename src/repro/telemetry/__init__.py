@@ -37,6 +37,11 @@ at ``detail="full"``)::
     plan (Transient)
     └─ transient            one run_transient_system call
        └─ transient_step [full]   one attempted step (accepted or not)
+    supervised_map          one supervised fan-out batch
+                            (repro.parallel.supervised_map)
+    retry                   one retry decision of supervised execution;
+                            wraps the backoff sleep, nests under
+                            whatever supervised scope is open
 
 Attributes by span:
 
@@ -81,6 +86,14 @@ Attributes by span:
 ``transient_step``
     ``t_s``, ``dt_s``, ``accepted`` (bool), and on rejection ``reason``
     (``"newton"`` | ``"lte"``).
+``supervised_map``
+    ``items``, ``workers``, ``mode`` (``"pool"`` | ``"serial"``), and on
+    exit one count per outcome status seen (``ok`` / ``failed`` /
+    ``timed_out`` / ``skipped``).
+``retry``
+    ``item`` (work-item index), ``attempt`` (the attempt the backoff
+    precedes), ``backoff_s``, ``reason`` (failed attempt's exception
+    type name, e.g. ``"ConvergenceError"``).
 ``worker_pid``
     set on spans grafted from a ``parallel_map`` worker.
 

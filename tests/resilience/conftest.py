@@ -1,0 +1,18 @@
+"""Shared fixtures of the resilience test suite: every test starts with
+no fault plan (installed or environmental) and zeroed STATS counters, so
+resilience-counter assertions are exact and a standing ``REPRO_FAULTS``
+in the developer's shell cannot leak in."""
+
+import pytest
+
+from repro import faultinject
+from repro.spice.stats import STATS
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faultinject.uninstall()
+    STATS.reset()
+    yield
+    faultinject.uninstall()

@@ -188,3 +188,52 @@ class TestCli:
         # --metrics under --bench snapshots exactly the benched work.
         metrics = metrics_file.read_text()
         assert f"repro_iterations_total {row['iterations']}" in metrics
+
+
+class TestCliResilience:
+    def test_retries_recovers_transient_fault(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "convergence@0:1")
+        status = main(["fig1", "--retries", "2"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Fig. 1" in out and "PASS" in out
+
+    def test_terminal_failure_reported_not_fatal(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "error@0")
+        status = main(["fig1", "ablation_current_ratio", "--retries", "1"])
+        out = capsys.readouterr().out
+        assert status == 1
+        # The batch survives the casualty: the second experiment ran...
+        assert "eq. 19-20" in out
+        # ...and the failure is attributed with its captured exception.
+        assert "experiment fig1 FAILED" in out
+        assert "FaultInjected" in out
+        assert "1 experiment(s) failed terminally: fig1" in out
+
+    def test_bench_rows_carry_resilience_counters(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_FAULTS", "convergence@0:1")
+        status = main(["--bench", "fig1", "--retries", "2"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "resil=1r/0t/0wf/0sf" in out
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        row = json.loads(bench_lines[0][len("BENCH "):])
+        assert row["retries"] == 1
+        assert row["timeouts"] == 0
+
+    def test_retries_rejects_non_integer(self, capsys):
+        status = main(["--retries", "lots", "fig1"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "--retries" in err
+
+    def test_standing_faults_inert_without_retries_flag(self, capsys, monkeypatch):
+        # REPRO_FAULTS only arms under an explicit policy: a plain run
+        # sails through untouched.
+        monkeypatch.setenv("REPRO_FAULTS", "error@*")
+        status = main(["fig1"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "PASS" in out
