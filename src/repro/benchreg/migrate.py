@@ -1,0 +1,127 @@
+"""Migrate the hand-written ``BENCH_*.json`` snapshots into the index.
+
+The repo's first two committed trajectory points (PR 4's three-leg
+evaluator comparison and PR 5's session-cache cold/cached pair) predate
+the campaign index.  This helper lifts them into schema-versioned
+entries so ``--bench-check`` has a real baseline on day one:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python -m repro.benchreg.migrate benchmarks/
+
+The original snapshot files are left untouched; each migrated entry
+cites its snapshot in ``source`` as provenance.  Legacy snapshots carry
+only a prose host description, so their host fingerprint is
+``legacy:<description>`` — it can never equal a live fingerprint, which
+means default (same-host) baseline resolution will prefer natively
+recorded entries and only fall back to migrated ones explicitly or on
+a fresh host, with the fallback named in the resolution note.
+
+Migration is deterministic (dates come from the snapshots, not a
+clock): running it twice produces byte-identical indexes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from ..errors import BenchRegError
+from . import schema
+
+#: Legacy snapshot files in trajectory order, with the labels their
+#: PRs are known by.
+LEGACY_SNAPSHOTS = (
+    ("BENCH_2026-07-27.json", "pr4-evaluator-legs"),
+    ("BENCH_2026-07-27_session.json", "pr5-session-cache"),
+)
+
+
+def _legacy_host(description: str) -> Dict[str, object]:
+    return {
+        "legacy": description,
+        "fingerprint": f"legacy:{description}",
+    }
+
+
+def migrate_snapshot(path, entry_id: str, label: str) -> Dict[str, object]:
+    """One legacy ``BENCH_*.json`` snapshot as a campaign entry."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchRegError(f"legacy snapshot not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BenchRegError(f"legacy snapshot {path} is not JSON: {exc}") from None
+    for key in ("date", "entries"):
+        if key not in data:
+            raise BenchRegError(f"legacy snapshot {path} has no {key!r} field")
+    entry = {
+        "id": entry_id,
+        "date": data["date"],
+        "recorded_at": f"{data['date']}T00:00:00Z",
+        "label": label,
+        "pr": data.get("pr"),
+        "command": data.get("command", ""),
+        "notes": data.get("notes", ""),
+        "source": path.name,
+        "git_sha": "unknown",
+        "host": _legacy_host(str(data.get("host", "unknown legacy host"))),
+        "rows": [dict(row) for row in data["entries"]],
+    }
+    return schema.validate_entry(entry, where=str(path))
+
+
+def migrate_legacy(benchmarks_dir) -> Dict[str, object]:
+    """Build a fresh index from every known legacy snapshot present in
+    ``benchmarks_dir`` (trajectory order).  Raises when none exist."""
+    benchmarks_dir = Path(benchmarks_dir)
+    index = schema.new_index()
+    for filename, label in LEGACY_SNAPSHOTS:
+        path = benchmarks_dir / filename
+        if not path.exists():
+            continue
+        index["entries"].append(
+            migrate_snapshot(path, schema.next_entry_id(index), label)
+        )
+    if not index["entries"]:
+        raise BenchRegError(
+            f"no legacy BENCH_*.json snapshots found in {benchmarks_dir} "
+            f"(looked for {', '.join(name for name, _ in LEGACY_SNAPSHOTS)})"
+        )
+    return schema.validate_index(index)
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    force = "--force" in argv
+    if force:
+        argv.remove("--force")
+    benchmarks_dir = Path(argv[0]) if argv else Path("benchmarks")
+    index_path = benchmarks_dir / "index.json"
+    if index_path.exists() and not force:
+        print(
+            f"{index_path} already exists — migration seeds a FRESH index; "
+            "pass --force to overwrite",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        index = migrate_legacy(benchmarks_dir)
+    except BenchRegError as exc:
+        print(f"migrate: {exc}", file=sys.stderr)
+        return 1
+    schema.save_index(index, index_path)
+    for entry in index["entries"]:
+        print(
+            f"migrated {entry['source']} -> {entry['id']} "
+            f"({entry['date']}, {len(entry['rows'])} rows)"
+        )
+    print(f"index written -> {index_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

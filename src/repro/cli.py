@@ -19,6 +19,22 @@ longer blend their work into a single total.  ``--workers N`` fans
 independent work (experiments, sweep chains, Monte-Carlo chips) over N
 processes (0 = all cores); results are identical to a serial run.
 
+Bench runs print a one-line provenance stamp (git SHA, host
+fingerprint) and can be *governed* through the campaign index
+(``benchmarks/index.json``, schema ``repro-bench-index/1``):
+``--bench-record`` appends the run's rows as a dated campaign entry
+with full provenance; ``--bench-check`` resolves a baseline from the
+index (latest same-host entry by default, or ``--baseline REF`` by
+id/label/date/``latest``) and gates the run against it — counter
+metrics are hard gates (exact), wall times advisory within
+``--bench-tolerance`` (default 0.25 relative) — exiting non-zero on
+any hard-gate regression with a named-metric diff; ``--bench-report``
+renders the index as a markdown trajectory to ``benchmarks/TREND.md``
+(standalone, or composed with a bench run).  ``--bench-index PATH``
+points all three at a different index file.  Recording and gating
+refuse to run while ``REPRO_FAULTS`` is set: a perturbed run must
+never become a baseline.
+
 ``--trace FILE`` records the full telemetry span tree of the run
 (nested solve spans with per-iteration Newton convergence records) as
 JSONL; ``--metrics FILE`` writes the solver-counter snapshot in the
@@ -81,6 +97,80 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench = "--bench" in argv
     if bench:
         argv.remove("--bench")
+    bench_record = "--bench-record" in argv
+    if bench_record:
+        argv.remove("--bench-record")
+    bench_check = "--bench-check" in argv
+    if bench_check:
+        argv.remove("--bench-check")
+    bench_report = "--bench-report" in argv
+    if bench_report:
+        argv.remove("--bench-report")
+    baseline_ref, error = _pop_value_flag(argv, "--baseline", "a baseline ref")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    bench_index_raw, error = _pop_value_flag(argv, "--bench-index", "an index path")
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    tolerance_raw, error = _pop_value_flag(
+        argv, "--bench-tolerance", "a relative tolerance"
+    )
+    if error:
+        print(error, file=sys.stderr)
+        return USAGE_ERROR
+    tolerance = None
+    if tolerance_raw is not None:
+        try:
+            tolerance = float(tolerance_raw)
+        except ValueError:
+            print(
+                f"--bench-tolerance needs a number, got {tolerance_raw!r}",
+                file=sys.stderr,
+            )
+            return USAGE_ERROR
+        if tolerance < 0:
+            print("--bench-tolerance must be >= 0", file=sys.stderr)
+            return USAGE_ERROR
+    if baseline_ref is not None and not bench_check:
+        print("--baseline only makes sense with --bench-check", file=sys.stderr)
+        return USAGE_ERROR
+    # Recording or gating implies a bench run; both refuse perturbed runs.
+    if bench_record or bench_check:
+        bench = True
+        from . import benchreg
+        from .errors import BenchRegError
+
+        try:
+            benchreg.ensure_unperturbed("record" if bench_record else "gate")
+        except BenchRegError as exc:
+            print(str(exc), file=sys.stderr)
+            return USAGE_ERROR
+    if bench_report and not bench:
+        # Standalone report mode: no experiments run, just render the
+        # trend from the existing index.
+        if argv:
+            print(
+                "--bench-report is standalone (no experiment names) or "
+                "composed with --bench",
+                file=sys.stderr,
+            )
+            return USAGE_ERROR
+        from pathlib import Path
+
+        from . import benchreg
+        from .errors import BenchRegError
+
+        index_path = Path(bench_index_raw or benchreg.DEFAULT_INDEX_PATH)
+        try:
+            index = benchreg.load_index(index_path)
+            trend_path = benchreg.write_trend(index, index_path.parent / "TREND.md")
+        except BenchRegError as exc:
+            print(f"bench-report: {exc}", file=sys.stderr)
+            return 1
+        print(f"bench-report: trend written -> {trend_path}")
+        return 0
     workers_raw, error = _pop_value_flag(argv, "--workers", "a worker count")
     if error:
         print(error, file=sys.stderr)
@@ -139,6 +229,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_rows = []
     trace_spans = []
     metrics_stats = None
+    bench_host = None
+    bench_sha = None
+    if bench:
+        from . import benchreg
+
+        # One provenance stamp per bench run: which code, which numeric
+        # stack.  The same identity rides --bench-record entries and the
+        # repro_build_info labels of --metrics.
+        bench_host = benchreg.host_fingerprint()
+        bench_sha = benchreg.git_sha()
+        print(
+            f"bench provenance: git={bench_sha[:12]} "
+            f"host={bench_host['fingerprint']}"
+        )
 
     def run_supervised(name: str, position: int):
         """Run one experiment under the --retries policy, filing the
@@ -265,11 +369,73 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"strategies: {strategies or '-'}"
         )
         print("BENCH " + json.dumps(row, sort_keys=True))
+    gate_failed = False
+    if bench and (bench_record or bench_check or bench_report):
+        from pathlib import Path
+
+        from . import benchreg
+        from .errors import BenchRegError
+
+        index_path = Path(bench_index_raw or benchreg.DEFAULT_INDEX_PATH)
+        try:
+            # Resolve the baseline BEFORE recording, so a freshly
+            # recorded campaign is never compared against itself.
+            baseline = resolution = None
+            if bench_check:
+                index = benchreg.load_index(index_path)
+                baseline, resolution = benchreg.resolve_baseline(
+                    index, ref=baseline_ref, host=bench_host
+                )
+            if bench_record:
+                if failures:
+                    raise BenchRegError(
+                        "refusing to record a campaign with failed "
+                        "experiments: " + ", ".join(sorted(failures))
+                    )
+                entry = benchreg.record_campaign(
+                    index_path,
+                    bench_rows,
+                    command="python -m repro --bench " + " ".join(names),
+                    sha=bench_sha,
+                    host=bench_host,
+                )
+                print(
+                    f"bench-record: campaign {entry['id']} ({entry['date']}) "
+                    f"-> {index_path}"
+                )
+            if bench_check:
+                comparison = benchreg.compare_rows(
+                    baseline,
+                    bench_rows,
+                    resolution=resolution,
+                    tolerance=(
+                        benchreg.DEFAULT_TOLERANCE
+                        if tolerance is None
+                        else tolerance
+                    ),
+                )
+                print(benchreg.render_check(comparison))
+                gate_failed = not comparison.ok
+            if bench_report:
+                trend_path = benchreg.write_trend(
+                    benchreg.load_index(index_path),
+                    index_path.parent / "TREND.md",
+                )
+                print(f"bench-report: trend written -> {trend_path}")
+        except BenchRegError as exc:
+            print(f"bench governance: {exc}", file=sys.stderr)
+            return 1
     if trace_path is not None:
         path = telemetry.write_jsonl(trace_spans, trace_path)
         print(f"trace written -> {path} ({len(telemetry.trace_rows(trace_spans))} spans)")
     if metrics_path is not None:
-        path = telemetry.write_prometheus(metrics_path, metrics_stats)
+        from . import benchreg
+
+        path = telemetry.write_prometheus(
+            metrics_path,
+            metrics_stats,
+            build_info=benchreg.build_info(bench_host, bench_sha),
+        )
         print(f"metrics written -> {path}")
     print(render_summary(results))
     if failures:
@@ -277,6 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{len(failures)} experiment(s) failed terminally: "
             + ", ".join(sorted(failures))
         )
+        return 1
+    if gate_failed:
         return 1
     return 0 if all(result.passed for result in results.values()) else 1
 

@@ -103,6 +103,13 @@ class FaultInjected(ReproError):
     """
 
 
+class BenchRegError(ReproError):
+    """A benchmark-campaign governance operation failed (malformed
+    index, unresolvable baseline, or an attempt to record/gate a
+    campaign from a fault-perturbed run).  Terminal: retrying the same
+    record/check reproduces it."""
+
+
 class ExtractionError(ReproError):
     """Parameter extraction failed (degenerate data, singular system...)."""
 

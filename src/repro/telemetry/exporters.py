@@ -56,7 +56,11 @@ def _stats_dict(stats=None) -> Dict[str, object]:
     return stats if isinstance(stats, dict) else stats.as_dict()
 
 
-def prometheus_text(stats=None) -> str:
+def _escape_label(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(stats=None, build_info: Optional[Dict[str, object]] = None) -> str:
     """The counter snapshot in the Prometheus text exposition format.
 
     One ``repro_<counter>_total`` counter per scalar
@@ -64,8 +68,26 @@ def prometheus_text(stats=None) -> str:
     histogram as a labelled ``repro_dc_strategies_total`` family.  The
     set of metrics is derived from the stats fields themselves, so a
     counter added to ``SolverStats`` lands here automatically.
+
+    ``build_info`` (e.g. :func:`repro.benchreg.build_info`: git SHA,
+    machine, python/numpy/scipy versions, cpu count) is rendered as the
+    conventional constant-1 ``repro_build_info`` gauge whose labels
+    carry the provenance, so scraped counters are attributable to the
+    code and numeric stack that produced them.
     """
     lines: List[str] = []
+    if build_info:
+        metric = f"{METRIC_PREFIX}_build_info"
+        labels = ",".join(
+            f'{key}="{_escape_label(value)}"'
+            for key, value in sorted(build_info.items())
+        )
+        lines.append(
+            f"# HELP {metric} Build/host provenance (constant 1; the labels "
+            "carry the data)."
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{{{labels}}} 1")
     for name, value in _stats_dict(stats).items():
         if isinstance(value, dict):
             metric = f"{METRIC_PREFIX}_dc_{name}_total"
@@ -82,11 +104,13 @@ def prometheus_text(stats=None) -> str:
     return "\n".join(lines) + "\n"
 
 
-def write_prometheus(path, stats=None) -> Path:
+def write_prometheus(
+    path, stats=None, build_info: Optional[Dict[str, object]] = None
+) -> Path:
     """Write :func:`prometheus_text` to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_text(stats))
+    path.write_text(prometheus_text(stats, build_info=build_info))
     return path
 
 

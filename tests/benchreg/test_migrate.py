@@ -1,0 +1,113 @@
+"""Migration of the legacy hand-written BENCH_*.json snapshots."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.benchreg import compare, migrate, schema
+from repro.errors import BenchRegError
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture
+def legacy_dir(tmp_path):
+    for filename, _label in migrate.LEGACY_SNAPSHOTS:
+        shutil.copy(BENCHMARKS_DIR / filename, tmp_path / filename)
+    return tmp_path
+
+
+class TestMigrate:
+    def test_both_snapshots_migrate_in_trajectory_order(self, legacy_dir):
+        index = migrate.migrate_legacy(legacy_dir)
+        schema.validate_index(index)
+        entries = index["entries"]
+        assert [e["id"] for e in entries] == ["c0001", "c0002"]
+        assert [e["pr"] for e in entries] == [4, 5]
+        # The originals are cited as provenance and left untouched.
+        assert entries[0]["source"] == "BENCH_2026-07-27.json"
+        assert entries[1]["source"] == "BENCH_2026-07-27_session.json"
+        for filename, _label in migrate.LEGACY_SNAPSHOTS:
+            assert (legacy_dir / filename).exists()
+
+    def test_rows_survive_verbatim(self, legacy_dir):
+        index = migrate.migrate_legacy(legacy_dir)
+        legacy = json.loads((legacy_dir / "BENCH_2026-07-27.json").read_text())
+        assert index["entries"][0]["rows"] == legacy["entries"]
+
+    def test_legacy_host_never_matches_a_live_fingerprint(self, legacy_dir):
+        index = migrate.migrate_legacy(legacy_dir)
+        live = schema.host_fingerprint()["fingerprint"]
+        for entry in index["entries"]:
+            assert entry["host"]["fingerprint"].startswith("legacy:")
+            assert entry["host"]["fingerprint"] != live
+
+    def test_migration_is_deterministic(self, legacy_dir):
+        first = migrate.migrate_legacy(legacy_dir)
+        second = migrate.migrate_legacy(legacy_dir)
+        assert first == second
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(BenchRegError, match="no legacy BENCH"):
+            migrate.migrate_legacy(tmp_path)
+
+    def test_malformed_snapshot_raises(self, tmp_path):
+        (tmp_path / "BENCH_2026-07-27.json").write_text('{"entries": []}')
+        with pytest.raises(BenchRegError, match="no 'date' field"):
+            migrate.migrate_legacy(tmp_path)
+
+    def test_main_writes_index_and_refuses_overwrite(self, legacy_dir, capsys):
+        assert migrate.main([str(legacy_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "index written" in out
+        assert (legacy_dir / "index.json").exists()
+        # Second run refuses without --force...
+        assert migrate.main([str(legacy_dir)]) == 1
+        assert "--force" in capsys.readouterr().err
+        # ...and overwrites with it.
+        assert migrate.main([str(legacy_dir), "--force"]) == 0
+
+
+class TestMigratedBaseline:
+    def test_migrated_pr4_entry_gates_identical_counters_clean(self, legacy_dir):
+        """The acceptance scenario in miniature: a candidate whose hard
+        counters equal the migrated PR-4 defaults passes, and the
+        post-PR-5 counters it grew classify as new metrics."""
+        index = migrate.migrate_legacy(legacy_dir)
+        baseline, how = compare.resolve_baseline(index, ref="c0001")
+        pr4_row = schema.default_row(baseline, "startup_transient")
+        candidate = dict(pr4_row)
+        candidate.pop("leg", None)
+        candidate.update({"op_cache_misses": 4, "session_plans": 4})
+        comparison = compare.compare_rows(baseline, [candidate], resolution=how)
+        assert comparison.ok
+        statuses = {d.metric: d.status for d in comparison.deltas}
+        assert statuses["factorizations"] == "stable"
+        assert statuses["op_cache_misses"] == "new-metric"
+
+    def test_doubled_factorizations_fail_against_migrated_baseline(
+        self, legacy_dir
+    ):
+        index = migrate.migrate_legacy(legacy_dir)
+        baseline, _ = compare.resolve_baseline(index, ref="c0001")
+        row = dict(schema.default_row(baseline, "startup_transient"))
+        row.pop("leg", None)
+        row["factorizations"] *= 2
+        comparison = compare.compare_rows(baseline, [row])
+        assert not comparison.ok
+        assert [f.metric for f in comparison.hard_failures] == ["factorizations"]
+
+    def test_committed_index_matches_fresh_migration_plus_native_entries(self):
+        """benchmarks/index.json is committed: its migrated prefix must
+        stay byte-equal to what migration produces from the snapshots
+        (natively recorded campaigns follow after)."""
+        committed = schema.load_index(BENCHMARKS_DIR / "index.json")
+        fresh = migrate.migrate_legacy(BENCHMARKS_DIR)
+        migrated_prefix = committed["entries"][: len(fresh["entries"])]
+        assert migrated_prefix == fresh["entries"]
+        # And at least one natively recorded campaign already exists.
+        native = committed["entries"][len(fresh["entries"]):]
+        assert native, "expected a recorded campaign after the migrated ones"
+        assert all(entry["source"] is None for entry in native)

@@ -158,6 +158,26 @@ class TestPrometheusGolden:
         # The Prometheus exposition format requires a trailing newline.
         assert prometheus_text(SolverStats()).endswith("\n")
 
+    def test_build_info_gauge_leads_the_exposition(self):
+        info = {"git_sha": "abc123", "numpy": "2.0.0", "cpus": 4}
+        lines = prometheus_text(SolverStats(), build_info=info).splitlines()
+        assert lines[1] == "# TYPE repro_build_info gauge"
+        assert lines[2] == (
+            'repro_build_info{cpus="4",git_sha="abc123",numpy="2.0.0"} 1'
+        )
+        # Omitted entirely when no provenance is passed (goldens above).
+        assert "repro_build_info" not in prometheus_text(SolverStats())
+
+    def test_build_info_labels_are_escaped(self):
+        info = {"weird": 'a"b\\c'}
+        text = prometheus_text(SolverStats(), build_info=info)
+        assert 'weird="a\\"b\\\\c"' in text
+
+    def test_write_prometheus_passes_build_info_through(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_prometheus(target, SolverStats(), build_info={"git_sha": "xyz"})
+        assert 'repro_build_info{git_sha="xyz"} 1' in target.read_text()
+
 
 class TestSummaryTree:
     def test_tree_shape_and_durations(self):
