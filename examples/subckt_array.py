@@ -1,0 +1,60 @@
+"""Hierarchical netlists: .SUBCKT cells, instance parameters, large N.
+
+Builds a small hand-written hierarchical deck (a parameterized divider
+cell instantiated three times with different overrides), then scales the
+same idea up with the :mod:`repro.spice.hierarchy` generator to a
+1k+-unknown array that routes through the sparse solver path — with the
+STATS counters printed as the proof.
+
+Run:  python examples/subckt_array.py
+"""
+
+from repro.spice import OP, Session, bandgap_array, parse_netlist
+from repro.spice.stats import STATS
+
+HAND_WRITTEN = """
+.title three dividers, one cell
+.SUBCKT DIV top out rt=1k rb=1k
+R1 top out {rt}
+R2 out 0 {rb}
+.ENDS DIV
+V1 in 0 2
+X1 in a DIV                 ; defaults: 1k/1k
+X2 in b DIV rb=3k           ; override the bottom leg
+X3 in c DIV rt=9k rb=1k     ; 10:1
+"""
+
+
+def main() -> None:
+    circuit = parse_netlist(HAND_WRITTEN)
+    print(f"parsed: {circuit!r}")
+    print("flattened elements:", ", ".join(el.name for el in circuit.elements))
+
+    result = Session(circuit).run(OP())
+    for node, expected in (("a", 1.0), ("b", 1.5), ("c", 0.2)):
+        print(f"  v({node}) = {result.voltage(node):.6f} V (expected {expected})")
+
+    # Scale the same mechanism up: 120 generated cells, ~1082 unknowns,
+    # solved through sparse assembly + splu (CSC end-to-end).
+    deck = bandgap_array(cells=120)
+    array = parse_netlist(deck)
+    session = Session(array)
+    print(f"\ngenerated array: {array!r} ({session.system.size} unknowns)")
+
+    STATS.reset()
+    op = session.run(OP())
+    print(
+        f"  sparse assemblies={STATS.sparse_assemblies} "
+        f"factorizations={STATS.sparse_factorizations} "
+        f"format conversions={STATS.sparse_conversions} "
+        f"lu reuses={STATS.lu_reuses}"
+    )
+    outputs = [op.voltage(f"o{i}") for i in range(120)]
+    print(
+        f"  cell outputs: {outputs[0]:.6f} V, spread "
+        f"{max(outputs) - min(outputs):.2e} V across 120 identical cells"
+    )
+
+
+if __name__ == "__main__":
+    main()

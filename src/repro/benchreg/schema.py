@@ -71,6 +71,10 @@ HARD_GATES: Dict[str, str] = {
     "newton_solves": "lower",
     "factorizations": "lower",
     "sparse_factorizations": "lower",
+    # Jacobian format conversions into splu: the CSC end-to-end
+    # pipeline keeps this at zero, so ANY increment is a regression
+    # (someone re-densified or re-formatted a matrix per iteration).
+    "sparse_conversions": "lower",
     "ac_factorizations": "lower",
     "op_cache_hits": "higher",
     "op_cache_warm_starts": "higher",

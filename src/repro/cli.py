@@ -356,6 +356,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"residual_evals={row['residual_evaluations']}  "
             f"assemblies={row['compiled_assemblies']}c/"
             f"{row['reference_assemblies']}r  "
+            f"sparse={row['sparse_assemblies']}a/"
+            f"{row['sparse_factorizations']}f/"
+            f"{row['sparse_conversions']}cv  "
             f"groups={row['group_evals']}ev/"
             f"{row['grouped_device_evals']}dev  "
             f"ac={row['ac_solves']}s/{row['ac_factorizations']}f/"

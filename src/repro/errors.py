@@ -54,6 +54,31 @@ class PlanError(NetlistError):
     """
 
 
+class SubcktError(NetlistError):
+    """A hierarchical ``.SUBCKT`` definition or ``X`` instantiation is
+    malformed.  Subclasses :class:`NetlistError` (a bad hierarchy is a
+    bad netlist); the three concrete failure modes below let tests and
+    tooling distinguish the taxonomy without string-matching messages.
+    """
+
+
+class UnknownSubcktError(SubcktError):
+    """An ``X`` card references a subcircuit name with no ``.SUBCKT``
+    definition anywhere in the deck (lookup is case-insensitive, like
+    every SPICE name)."""
+
+
+class SubcktArityError(SubcktError):
+    """An ``X`` card connects the wrong number of nodes for its
+    subcircuit's declared port list."""
+
+
+class SubcktRecursionError(SubcktError):
+    """Subcircuit expansion found a cycle: a ``.SUBCKT`` instantiates
+    itself, directly or through a chain of other subcircuits.  Flattening
+    a cycle would never terminate, so it is detected and named."""
+
+
 class ExperimentError(ReproError):
     """An experiment runner failed.
 

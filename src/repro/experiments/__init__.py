@@ -16,6 +16,7 @@ regenerates its data and checks the shape criteria of DESIGN.md:
 ``psrr_vref``              PSRR(f) of the cell vs temperature (AC)
 ``loop_gain``              feedback-loop Bode plot with margins (AC)
 ``zout_vref``              output impedance vs frequency (AC)
+``large_n``                1k+-unknown hierarchical netlists, sparse path
 ======================  =========================================
 
 Use :func:`run_experiment`/:func:`run_all` or ``python -m repro``.
@@ -35,6 +36,7 @@ from . import (  # noqa: F401  (imports register the runners)
     psrr_vref,
     loop_gain,
     zout_vref,
+    large_n,
 )
 from .report import render_result, render_summary
 

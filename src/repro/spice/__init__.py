@@ -21,7 +21,11 @@ offline, this package implements the needed subset from scratch:
 * :mod:`repro.spice.thermal` — the electro-thermal self-heating loop
   behind the paper's sensor-vs-die temperature discrepancy (Table 1);
 * :mod:`repro.spice.parser` — a SPICE-flavoured netlist text parser
-  (including PULSE/PWL/SIN time-varying sources);
+  (PULSE/PWL/SIN time-varying sources, and hierarchical
+  ``.SUBCKT``/``X`` cards flattened recursively at parse time);
+* :mod:`repro.spice.hierarchy` — generators for 1k-10k-unknown
+  hierarchical benchmark netlists (arrayed bandgap cells, resistor
+  ladders) that exercise the sparse assembly/``splu`` path;
 * :mod:`repro.spice.plans` / :mod:`repro.spice.session` — the unified
   Session API: declarative analysis plans (``OP``, ``DCSweep``,
   ``TempSweep``, ``ACSweep``, ``Transient``, ``MonteCarlo``) run by a
@@ -86,6 +90,7 @@ from .session import (
 )
 from .thermal import ThermalSolution, solve_with_self_heating
 from .parser import parse_netlist
+from .hierarchy import bandgap_array, resistor_ladder
 
 __all__ = [
     "Circuit",
@@ -141,4 +146,6 @@ __all__ = [
     "ThermalSolution",
     "solve_with_self_heating",
     "parse_netlist",
+    "bandgap_array",
+    "resistor_ladder",
 ]

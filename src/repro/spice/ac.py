@@ -231,7 +231,12 @@ class ACSystem:
                 (stamp.vals[:n], (stamp.rows[:n], stamp.cols[:n])),
                 shape=(size, size),
             ).tocsc()
-            self._g_sparse = _csc_matrix(self.G)
+            # Pass an already-CSC G straight through (the sparse
+            # assembly mode emits CSC natively).
+            if _sp_issparse(self.G) and self.G.format == "csc":
+                self._g_sparse = self.G
+            else:
+                self._g_sparse = _csc_matrix(self.G)
             self.frequency_flat = self.C.nnz == 0
         else:
             self.C = np.zeros((size, size))
@@ -278,8 +283,13 @@ class ACSystem:
             matrix = (self._g_sparse + 1j * omega_key * self.C).astype(
                 np.complex128
             )
+            if matrix.format != "csc":
+                matrix = _csc_matrix(matrix)
+                STATS.sparse_conversions += 1
             factorization = _ACFactorization(
-                "sparse", _splu(_csc_matrix(matrix)), omega_key
+                "sparse",
+                _splu(matrix, permc_spec=self.options.sparse_permc),
+                omega_key,
             )
         else:
             matrix = self.G + 1j * omega_key * self.C

@@ -167,11 +167,17 @@ class _TripletStamp(Stamp):
             self.trip_vals.append(value)
 
     def matrix(self, size: int):
-        """The collected triplets as CSR (duplicates summed)."""
+        """The collected triplets as CSC (duplicates summed).
+
+        CSC is ``splu``'s native format: emitting it here keeps the
+        whole sparse pipeline — cached linear parts, per-iteration
+        deltas, factorization — in one format, so the solver never pays
+        a per-factorization conversion (``STATS.sparse_conversions``).
+        """
         return _coo_matrix(
             (self.trip_vals, (self.trip_rows, self.trip_cols)),
             shape=(size, size),
-        ).tocsr()
+        ).tocsc()
 
 
 class CompiledAssembler:
@@ -196,8 +202,10 @@ class CompiledAssembler:
     vectorized groups of :mod:`repro.spice.groups` (one NumPy pass per
     group per iteration), the rest stay on their scalar ``stamp``.  In
     sparse mode (``size >= REPRO_SPARSE_THRESHOLD`` with scipy present)
-    every linear cache is a ``scipy.sparse`` matrix and :meth:`assemble`
-    returns a sparse Jacobian, so nothing ever densifies.
+    every linear cache is a ``scipy.sparse`` CSC matrix and
+    :meth:`assemble` returns a CSC Jacobian — splu's native format — so
+    nothing ever densifies and nothing is format-converted per
+    iteration.
     """
 
     def __init__(
@@ -436,7 +444,8 @@ class CompiledAssembler:
             vals = np.concatenate([t[2] for t in triplets])
             size = self.system.size
             delta = _coo_matrix((vals, (rows, cols)), shape=(size, size))
-            return (g_lin + delta.tocsr()), residual
+            # CSC + CSC stays CSC all the way into splu.
+            return (g_lin + delta.tocsc()), residual
         jacobian = g_lin.copy()
         if groups:
             x_ext = self._x_ext

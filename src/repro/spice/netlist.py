@@ -40,7 +40,7 @@ class Circuit:
         self._elements: List = []
         self._element_names: Dict[str, int] = {}
         self._node_order: List[str] = []
-        self._node_seen: set = set()
+        self._node_index: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,8 +63,8 @@ class Circuit:
             raise NetlistError(f"invalid node name {node!r}")
         if is_ground(node):
             return
-        if node not in self._node_seen:
-            self._node_seen.add(node)
+        if node not in self._node_index:
+            self._node_index[node] = len(self._node_order)
             self._node_order.append(node)
 
     # ------------------------------------------------------------------
@@ -90,12 +90,18 @@ class Circuit:
         return name in self._element_names
 
     def node_index(self, node: str) -> int:
-        """Index of a node in the unknown vector; -1 for ground."""
+        """Index of a node in the unknown vector; -1 for ground.
+
+        Dict lookup, not a list scan: binding element nodes to matrix
+        rows calls this once per terminal, so a linear search turns
+        system construction quadratic on the 1k+-node netlists the
+        hierarchy generator produces.
+        """
         if is_ground(node):
             return -1
         try:
-            return self._node_order.index(node)
-        except ValueError:
+            return self._node_index[node]
+        except KeyError:
             raise NetlistError(f"unknown node {node!r}") from None
 
     def validate(self) -> None:

@@ -19,6 +19,30 @@ Supports the subset the library's circuits need::
     Q1 c b e QMOD
     A1 inp inn out gain=1e4 vos=1m rail_high=5
 
+Hierarchy::
+
+    .SUBCKT CELL in out r={rval}     ; ports, then param defaults
+    R1 in mid {rval}
+    R2 mid out 1k
+    .ENDS CELL
+    X1 a b CELL rval=2k              ; nodes..., subckt name, overrides
+
+``X`` cards are flattened recursively at parse time: element and
+internal-node names gain an ``X1.`` instance prefix (``X1.R1``,
+``X1.mid``), port nodes map to the connection nodes, ground aliases
+pass through, and ``{param}`` references substitute the instance's
+parameter values (declaration defaults overridden per instance).
+Subcircuit-local ``.model`` cards shadow global ones for that instance
+only.  Malformed hierarchy raises the typed taxonomy in
+:mod:`repro.errors`: :class:`~repro.errors.UnknownSubcktError`,
+:class:`~repro.errors.SubcktArityError` (port-count mismatch) and
+:class:`~repro.errors.SubcktRecursionError` (instantiation cycle).
+
+Model and subcircuit names are case-insensitive, like every SPICE name
+(``.model QMOD NPN`` matches ``q1 c b e qmod``).  Node names remain
+case-sensitive (as in the programmatic API), except for the ground
+aliases.
+
 Continuation lines start with ``+``.  Numbers accept SPICE suffixes
 (``k``, ``meg``, ``u``, ``n``...).  ``Q`` lines expand series resistances
 into internal nodes via :func:`repro.spice.elements.bjt.add_bjt`, exactly
@@ -28,10 +52,16 @@ like the programmatic API.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..bjt.parameters import BJTParameters
-from ..errors import NetlistError
+from ..errors import (
+    NetlistError,
+    SubcktArityError,
+    SubcktError,
+    SubcktRecursionError,
+    UnknownSubcktError,
+)
 from ..units import parse_si
 from .elements import (
     Capacitor,
@@ -44,10 +74,13 @@ from .elements import (
 )
 from .elements.bjt import add_bjt
 from .elements.sources import PWL, Pulse, Sin, VoltageSource
-from .netlist import Circuit
+from .netlist import Circuit, is_ground
 
 #: ``PULSE(...)`` / ``PWL(...)`` / ``SIN(...)`` source-value syntax.
 _WAVEFORM_RE = re.compile(r"^(pulse|pwl|sin)\s*\((.*)\)$", re.IGNORECASE)
+
+#: ``{param}`` references inside a .SUBCKT body.
+_PARAM_RE = re.compile(r"\{([A-Za-z_]\w*)\}")
 
 #: .model BJT keyword -> BJTParameters field.
 _BJT_FIELDS = {
@@ -132,18 +165,29 @@ def _split_kwargs(
 
 
 def _parse_model(line: str) -> Tuple[str, str, Dict[str, float]]:
-    """Parse ``.model NAME KIND (K=V ...)`` -> (name, kind, params)."""
+    """Parse ``.model NAME KIND (K=V ...)`` -> (name, kind, params).
+
+    The returned name is upper-cased: SPICE model names are
+    case-insensitive, so definitions and references are both normalised
+    at the parser boundary.
+    """
     body = line[len(".model"):].strip()
     cleaned = body.replace("(", " ").replace(")", " ")
     tokens = cleaned.split()
     if len(tokens) < 2:
         raise NetlistError(f"malformed .model line: {line!r}")
-    name, kind = tokens[0], tokens[1].upper()
+    name, kind = tokens[0].upper(), tokens[1].upper()
+    # Real decks put spaces around '=' ("IS = 1e-16", "IS= 1e-16",
+    # "IS =1e-16"); re-join the parameter section so all three spellings
+    # tokenize as K=V before the '=' check below.
+    param_text = re.sub(r"\s*=\s*", "=", " ".join(tokens[2:]))
     params: Dict[str, float] = {}
-    for token in tokens[2:]:
+    for token in param_text.split():
         if "=" not in token:
             raise NetlistError(f".model parameter without '=': {token!r}")
         key, _, value = token.partition("=")
+        if not key or not value:
+            raise NetlistError(f"malformed .model parameter {token!r}")
         params[key.upper()] = parse_si(value)
     return name, kind, params
 
@@ -158,32 +202,133 @@ def _bjt_params_from_model(kind: str, raw: Dict[str, float], name: str) -> BJTPa
     return BJTParameters(**fields)
 
 
+class _Scope:
+    """Name environment for element dispatch: model cards (keyed by
+    upper-cased name) and subcircuit definitions.  Each subcircuit
+    instance expands in a :meth:`child` scope so its local ``.model``
+    cards shadow global ones without leaking back out."""
+
+    def __init__(
+        self,
+        models_bjt: Dict[str, BJTParameters],
+        models_diode: Dict[str, Dict[str, float]],
+        subckts: Dict[str, "SubcktDef"],
+    ):
+        self.models_bjt = models_bjt
+        self.models_diode = models_diode
+        self.subckts = subckts
+
+    def child(self) -> "_Scope":
+        return _Scope(dict(self.models_bjt), dict(self.models_diode), self.subckts)
+
+    def register_model(self, line: str) -> None:
+        name, kind, params = _parse_model(line)
+        if kind in ("NPN", "PNP"):
+            self.models_bjt[name] = _bjt_params_from_model(kind, params, name)
+        elif kind == "D":
+            fields = {}
+            for key, value in params.items():
+                field = _DIODE_FIELDS.get(key)
+                if field is None:
+                    raise NetlistError(f"unknown diode model parameter {key!r}")
+                fields[field] = value
+            self.models_diode[name] = fields
+        else:
+            raise NetlistError(f"unsupported model kind {kind!r}")
+
+
+class SubcktDef:
+    """A parsed ``.SUBCKT`` definition: ports, parameter defaults and
+    the raw body lines, expanded lazily per ``X`` instance."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: List[str],
+        params: Dict[str, float],
+        body: List[str],
+    ):
+        self.name = name
+        self.ports = ports
+        self.params = params
+        self.body = body
+
+    def __repr__(self) -> str:
+        return (
+            f"SubcktDef({self.name!r}, ports={self.ports}, "
+            f"params={sorted(self.params)}, {len(self.body)} lines)"
+        )
+
+
+def _extract_subckts(
+    lines: List[str],
+) -> Tuple[List[str], Dict[str, "SubcktDef"]]:
+    """Split joined lines into top-level lines and ``.SUBCKT`` blocks.
+
+    Definitions are keyed by upper-cased name (SPICE names are
+    case-insensitive).  Nested *definitions* are rejected — nesting is
+    expressed by an ``X`` card inside a body referencing another
+    subcircuit, which flattening resolves recursively.
+    """
+    top: List[str] = []
+    subckts: Dict[str, SubcktDef] = {}
+    current: "SubcktDef | None" = None
+    for line in lines:
+        lower = line.lower()
+        if lower.startswith(".subckt"):
+            tokens = line.split()
+            if current is not None:
+                nested = tokens[1] if len(tokens) > 1 else "?"
+                raise SubcktError(
+                    f"nested .SUBCKT definition {nested!r} inside .SUBCKT "
+                    f"{current.name!r}; instantiate with an X card instead"
+                )
+            if len(tokens) < 2:
+                raise SubcktError(f"malformed .SUBCKT line: {line!r}")
+            ports, params = _split_kwargs(tokens[2:])
+            current = SubcktDef(tokens[1], ports, params, [])
+        elif lower.startswith(".ends"):
+            if current is None:
+                raise SubcktError(".ENDS without a matching .SUBCKT")
+            tokens = line.split()
+            if len(tokens) > 1 and tokens[1].upper() != current.name.upper():
+                raise SubcktError(
+                    f".ENDS {tokens[1]!r} does not close .SUBCKT {current.name!r}"
+                )
+            key = current.name.upper()
+            if key in subckts:
+                raise SubcktError(f"duplicate .SUBCKT definition {current.name!r}")
+            subckts[key] = current
+            current = None
+        elif current is not None:
+            current.body.append(line)
+        else:
+            top.append(line)
+    if current is not None:
+        raise SubcktError(f".SUBCKT {current.name!r} is never closed by .ENDS")
+    return top, subckts
+
+
 def parse_netlist(text: str, title: str = "") -> Circuit:
-    """Parse netlist text into a :class:`Circuit`."""
+    """Parse netlist text into a flat :class:`Circuit`.
+
+    ``.SUBCKT`` definitions are collected first, then every top-level
+    ``X`` card is expanded recursively, so the returned circuit is
+    always flat — downstream assembly and solving are hierarchy-blind.
+    """
     lines = _join_continuations(text)
+    lines, subckts = _extract_subckts(lines)
     circuit = Circuit(title=title)
-    models_bjt: Dict[str, BJTParameters] = {}
-    models_diode: Dict[str, Dict[str, float]] = {}
+    scope = _Scope({}, {}, subckts)
     deferred: List[List[str]] = []
 
     # First pass: collect models and directives so device lines can
-    # reference models defined later in the file.
+    # reference models defined later in the file.  (.ends is consumed
+    # by _extract_subckts above, so the .end check cannot shadow it.)
     for line in lines:
         lower = line.lower()
         if lower.startswith(".model"):
-            name, kind, params = _parse_model(line)
-            if kind in ("NPN", "PNP"):
-                models_bjt[name] = _bjt_params_from_model(kind, params, name)
-            elif kind == "D":
-                fields = {}
-                for key, value in params.items():
-                    field = _DIODE_FIELDS.get(key)
-                    if field is None:
-                        raise NetlistError(f"unknown diode model parameter {key!r}")
-                    fields[field] = value
-                models_diode[name] = fields
-            else:
-                raise NetlistError(f"unsupported model kind {kind!r}")
+            scope.register_model(line)
         elif lower.startswith(".title"):
             circuit.title = line[len(".title"):].strip()
         elif lower.startswith(".end"):
@@ -194,7 +339,7 @@ def parse_netlist(text: str, title: str = "") -> Circuit:
             deferred.append(line.split())
 
     for tokens in deferred:
-        _add_element(circuit, tokens, models_bjt, models_diode)
+        _add_element(circuit, tokens, scope)
     return circuit
 
 
@@ -244,14 +389,161 @@ def _parse_source_value(name: str, tokens: List[str]):
     return PWL(list(zip(args[0::2], args[1::2])))
 
 
+def _substitute_params(line: str, params: Dict[str, float], inst: str) -> str:
+    """Replace ``{param}`` references with the instance's values."""
+
+    def repl(match: "re.Match") -> str:
+        key = match.group(1).lower()
+        if key not in params:
+            raise NetlistError(
+                f"subcircuit instance {inst}: unknown parameter "
+                f"{match.group(1)!r} in {line!r}"
+            )
+        return repr(params[key])
+
+    return _PARAM_RE.sub(repl, line)
+
+
+#: Leading positional tokens that are node names, per element kind.
+#: F/H (node node SENSE value) and X (node... SUBCKT) need bespoke
+#: handling in :func:`_remap_instance_tokens`.
+_NODE_POSITIONALS = {
+    "R": 2, "C": 2, "V": 2, "I": 2, "E": 4, "G": 4, "D": 2, "Q": 3, "A": 3,
+}
+
+
+def _remap_instance_tokens(
+    tokens: List[str], inst: str, node_map: Dict[str, str]
+) -> List[str]:
+    """Rewrite one subcircuit-body element line for an instance.
+
+    Element names gain the ``inst.`` prefix; node tokens map through
+    the port connections, pass ground aliases unchanged, and become
+    ``inst.node`` internal nodes otherwise.  CCCS/CCVS sense-element
+    names and op-amp ``supply=`` nodes are rewritten too.
+    """
+    name = tokens[0]
+    kind = name[0].upper()
+    pos: List[str] = []
+    kws: List[str] = []
+    for token in tokens[1:]:
+        (kws if "=" in token else pos).append(token)
+
+    def mapped(node: str) -> str:
+        if is_ground(node):
+            return node
+        return node_map.get(node, f"{inst}.{node}")
+
+    out = list(pos)
+    if kind == "X":
+        for i in range(max(len(pos) - 1, 0)):
+            out[i] = mapped(pos[i])
+    elif kind in ("F", "H"):
+        for i in range(min(2, len(pos))):
+            out[i] = mapped(pos[i])
+        if len(pos) > 2:
+            # Branch-current sensing stays inside the instance: the
+            # sensed element is the one this same expansion created.
+            out[2] = f"{inst}.{pos[2]}"
+    else:
+        count = _NODE_POSITIONALS.get(kind)
+        if count is None:
+            raise NetlistError(
+                f"unsupported element type {name!r} inside subcircuit"
+            )
+        for i in range(min(count, len(pos))):
+            out[i] = mapped(pos[i])
+    rewritten_kws = []
+    for token in kws:
+        key, _, value = token.partition("=")
+        if kind == "A" and key.lower() == "supply":
+            value = mapped(value)
+        rewritten_kws.append(f"{key}={value}")
+    return [f"{inst}.{name}"] + out + rewritten_kws
+
+
+def _expand_subckt(
+    circuit: Circuit,
+    tokens: List[str],
+    scope: _Scope,
+    active: FrozenSet[str],
+) -> None:
+    """Flatten one ``X`` instance into ``circuit``.
+
+    ``active`` carries the upper-cased names of every definition on the
+    current expansion path; re-entering one is a cycle.
+    """
+    inst = tokens[0]
+    pos = [t for t in tokens[1:] if "=" not in t]
+    kw_tokens = [t for t in tokens[1:] if "=" in t]
+    if not pos:
+        raise SubcktError(
+            f"subcircuit instance {inst}: expected 'X node... SUBCKT [param=v]'"
+        )
+    ref = pos[-1]
+    conns = pos[:-1]
+    sub = scope.subckts.get(ref.upper())
+    if sub is None:
+        raise UnknownSubcktError(
+            f"subcircuit instance {inst}: unknown subcircuit {ref!r}"
+        )
+    if ref.upper() in active:
+        chain = " -> ".join(sorted(active) + [sub.name])
+        raise SubcktRecursionError(
+            f"subcircuit instance {inst}: recursive instantiation of "
+            f"{sub.name!r} ({chain})"
+        )
+    if len(conns) != len(sub.ports):
+        raise SubcktArityError(
+            f"subcircuit instance {inst}: {sub.name} has "
+            f"{len(sub.ports)} port(s) {sub.ports}, got {len(conns)} "
+            f"connection(s) {conns}"
+        )
+    params = dict(sub.params)
+    _, overrides = _split_kwargs(kw_tokens)
+    for key, value in overrides.items():
+        if key not in params:
+            raise NetlistError(
+                f"subcircuit instance {inst}: unknown parameter {key!r} "
+                f"for {sub.name} (declared: {sorted(params) or 'none'})"
+            )
+        params[key] = value
+    node_map = dict(zip(sub.ports, conns))
+
+    local = scope.child()
+    body_elements: List[str] = []
+    for line in sub.body:
+        line = _substitute_params(line, params, inst)
+        lower = line.lower()
+        if lower.startswith(".model"):
+            local.register_model(line)
+        elif line.startswith("."):
+            raise NetlistError(
+                f"unsupported directive inside .SUBCKT {sub.name}: "
+                f"{line.split()[0]!r}"
+            )
+        else:
+            body_elements.append(line)
+
+    next_active = active | {ref.upper()}
+    for line in body_elements:
+        remapped = _remap_instance_tokens(line.split(), inst, node_map)
+        _add_element(circuit, remapped, local, active=next_active)
+
+
 def _add_element(
     circuit: Circuit,
     tokens: List[str],
-    models_bjt: Dict[str, BJTParameters],
-    models_diode: Dict[str, Dict[str, float]],
+    scope: _Scope,
+    active: FrozenSet[str] = frozenset(),
 ) -> None:
     name = tokens[0]
-    kind = name[0].upper()
+    # Kind comes from the LEAF of a hierarchical name: a flattened
+    # element "X1.R1" is a resistor, not an X card.
+    kind = name.rsplit(".", 1)[-1][:1].upper()
+    if kind == "X":
+        _expand_subckt(circuit, tokens, scope, active)
+        return
     string_keys = _OPAMP_STRING_KEYS if kind == "A" else frozenset()
     positional, keywords = _split_kwargs(tokens[1:], string_keys)
 
@@ -306,14 +598,14 @@ def _add_element(
     elif kind == "D":
         if len(positional) != 3:
             raise NetlistError(f"diode {name}: expected 'D anode cathode model'")
-        model = models_diode.get(positional[2])
+        model = scope.models_diode.get(positional[2].upper())
         if model is None:
             raise NetlistError(f"diode {name}: unknown model {positional[2]!r}")
         circuit.add(Diode(name, positional[0], positional[1], **model))
     elif kind == "Q":
         if len(positional) != 4:
             raise NetlistError(f"BJT {name}: expected 'Q c b e model'")
-        params = models_bjt.get(positional[3])
+        params = scope.models_bjt.get(positional[3].upper())
         if params is None:
             raise NetlistError(f"BJT {name}: unknown model {positional[3]!r}")
         add_bjt(circuit, name, positional[0], positional[1], positional[2], params)

@@ -115,6 +115,13 @@ def _fingerprint(circuit: Circuit) -> str:
         digest.update(element.name.encode())
         for node in element.nodes:
             digest.update(node.encode())
+        # CCCS/CCVS connectivity includes which element's branch current
+        # they sense — that reference is not in ``nodes``, and two
+        # netlists differing only in it must not share cached points.
+        sensed = getattr(element, "sensed", None)
+        if sensed is not None:
+            digest.update(b"@")
+            digest.update(sensed.name.encode())
         digest.update(b";")
     return digest.hexdigest()[:16]
 

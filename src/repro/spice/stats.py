@@ -47,6 +47,12 @@ class SolverStats:
     #: Assemblies that returned a ``scipy.sparse`` Jacobian (the
     #: never-densify mode above the sparse threshold).
     sparse_assemblies: int = 0
+    #: Jacobian format conversions paid on the way into ``splu`` (a
+    #: dense scan into CSC, or a CSR->CSC reconversion).  The CSC
+    #: end-to-end pipeline keeps this at zero for sparse-assembled
+    #: systems; any increment means a matrix was built in the wrong
+    #: format and re-walked per factorization.
+    sparse_conversions: int = 0
     #: Complex linear solves of the AC subsystem (one per frequency).
     ac_solves: int = 0
     #: Complex ``G + jwC`` factorizations taken by the AC subsystem.

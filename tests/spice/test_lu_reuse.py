@@ -102,6 +102,66 @@ class TestSparseSwitch:
         dense = solve_dc(circuit, options=SolverOptions(sparse_threshold=10**9))
         assert sparse.x == pytest.approx(dense.x, abs=1e-8)
 
+    def test_sparse_assembly_factors_conversion_free(self):
+        # The CSC end-to-end contract: a system big enough to assemble
+        # sparse hands splu its native format, so no Jacobian is
+        # format-converted on the way into a factorization.
+        from repro.spice.stats import STATS
+
+        circuit = _diode_ladder(120)
+        STATS.reset()
+        solve_dc(circuit)
+        assert STATS.sparse_factorizations > 0
+        assert STATS.sparse_conversions == 0
+
+    def test_dense_jacobian_over_threshold_counts_conversions(self):
+        # A *dense* ndarray forced over the sparse threshold must still
+        # factor (through splu) but pays a counted dense->CSC scan per
+        # factorization — the situation the counter exists to expose.
+        from repro.spice.stats import STATS
+
+        circuit = _diode_ladder(10)  # ~20 unknowns, assembles dense
+        system = MNASystem(circuit)
+        jacobian, _ = system.assemble(np.zeros(system.size))
+        assert not hasattr(jacobian, "format")  # really dense
+        workspace = NewtonWorkspace()
+        options = SolverOptions(sparse_threshold=1)
+        STATS.reset()
+        assert workspace.factor(jacobian, options)
+        assert workspace.factor(jacobian, options)
+        assert STATS.sparse_factorizations == 2
+        assert STATS.sparse_conversions == 2
+
+    def test_sparse_reuse_policy_only_applies_to_sparse_factors(self):
+        # Dense systems must keep the strict policy bit-for-bit: the
+        # workspace reports is_sparse=False, so the sparse knobs are
+        # never consulted.
+        circuit = _diode_ladder(3)
+        system = MNASystem(circuit)
+        workspace = NewtonWorkspace()
+        jacobian, _ = system.assemble(np.zeros(system.size))
+        assert workspace.factor(jacobian, SolverOptions())
+        assert not workspace.is_sparse
+        strict = solve_dc(circuit)
+        relaxed = solve_dc(
+            circuit,
+            options=SolverOptions(
+                sparse_reuse_limit=99, sparse_reuse_contraction=0.99
+            ),
+        )
+        assert strict.x == pytest.approx(relaxed.x, abs=1e-12)
+        assert strict.iterations == relaxed.iterations
+
+    def test_explicit_permc_spec_matches_default(self):
+        # COLAMD is scipy's default ordering; naming it explicitly (or
+        # picking NATURAL) must change performance only, never answers.
+        circuit = _diode_ladder(120)
+        default = solve_dc(circuit)
+        natural = solve_dc(
+            circuit, options=SolverOptions(sparse_permc="NATURAL")
+        )
+        assert default.x == pytest.approx(natural.x, abs=1e-8)
+
     def test_stall_bailout_disabled_reaches_budget(self):
         # stall_window=0 restores the grind-to-max_iterations behaviour;
         # the solution must not change either way.
