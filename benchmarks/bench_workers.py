@@ -1,0 +1,94 @@
+"""Benchmark: REPRO_WORKERS process fan-out of independent plans.
+
+The multi-core leg ROADMAP item 4 carried: the same plan batch run
+serially and fanned across worker processes via ``Session.run_many``.
+Correctness is pinned by assertions (serial and fanned runs must agree
+bit-for-bit on every voltage); the wall-time comparison is **advisory
+only** and never hard-gated, because CI hosts routinely expose a single
+CPU — fan-out there measures process spawn overhead, not speedup.
+
+    =====================================================================
+    1-CPU HOST: FAN-OUT WALL TIMES ARE NOT MEANINGFUL ON THIS MACHINE.
+    =====================================================================
+
+That banner is printed (loudly) whenever ``os.cpu_count() < 2`` so a
+log reader can never mistake a spawn-overhead number for a regression.
+The campaign row recorded from this workload (``workers_fanout`` in
+``benchmarks/index.json``) carries wall times only — the benchreg
+compare layer treats unlisted metrics as informational, so the row can
+never fail ``--bench-check``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.spice.hierarchy import bandgap_array
+from repro.spice.parser import parse_netlist
+from repro.spice.plans import OP
+from repro.spice.session import Session
+
+#: Cells in the fanned array (kept small: the workload ships one task
+#: per plan, and the point is fan-out shape, not large-N).
+ARRAY_CELLS = 24
+#: One independent plan per temperature.
+TEMP_GRID_K = tuple(np.linspace(260.15, 340.15, 8))
+#: Worker counts benched against serial.
+FANOUTS = (2, 4)
+
+ONE_CPU = (os.cpu_count() or 1) < 2
+ONE_CPU_BANNER = (
+    "\n"
+    "=====================================================================\n"
+    "1-CPU HOST: FAN-OUT WALL TIMES ARE NOT MEANINGFUL ON THIS MACHINE.\n"
+    "Process fan-out below measures spawn overhead, not speedup; the\n"
+    "workers_fanout campaign row is advisory-only by construction.\n"
+    "=====================================================================\n"
+)
+
+
+def build_array():
+    """Module-level builder: picklable for the process fan-out recipe."""
+    return parse_netlist(bandgap_array(cells=ARRAY_CELLS))
+
+
+def _plans():
+    return [OP(temperature_k=t, record=("o0",)) for t in TEMP_GRID_K]
+
+
+def _voltages(results):
+    return [result.voltage("o0") for result in results]
+
+
+def _warn_if_one_cpu():
+    if ONE_CPU:
+        print(ONE_CPU_BANNER)
+
+
+def test_run_many_serial(benchmark):
+    """Baseline: the batch on one process, sharing one session cache."""
+    _warn_if_one_cpu()
+    session = Session(build_array)
+    results = benchmark(session.run_many, _plans(), workers=1)
+    assert len(results) == len(TEMP_GRID_K)
+
+
+@pytest.mark.parametrize("workers", FANOUTS)
+def test_run_many_fanned(benchmark, workers):
+    """The same batch fanned over worker processes.
+
+    Wall time is advisory (see the module banner); what is *asserted*
+    is equality to solver tolerance — serial plans warm-start off each
+    other inside one shared cache while fanned plans solve cold in
+    their workers, so converged points agree to the Newton tolerances
+    (the Session contract), not bit-for-bit.
+    """
+    _warn_if_one_cpu()
+    serial = _voltages(Session(build_array).run_many(_plans(), workers=1))
+
+    def fanned():
+        return Session(build_array).run_many(_plans(), workers=workers)
+
+    results = benchmark(fanned)
+    assert np.allclose(_voltages(results), serial, rtol=0.0, atol=1e-7)

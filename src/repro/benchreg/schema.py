@@ -79,6 +79,9 @@ HARD_GATES: Dict[str, str] = {
     "op_cache_hits": "higher",
     "op_cache_warm_starts": "higher",
     "op_cache_misses": "lower",
+    # Persistent-store integrity: any unreadable record is data loss
+    # somewhere upstream (a torn write, a bad merge), so increments gate.
+    "op_store_corrupt_records": "lower",
     "strategies.gain-stepping": "lower",
     "strategies.gmin-stepping": "lower",
     "strategies.source-stepping": "lower",

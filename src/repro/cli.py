@@ -50,6 +50,18 @@ bench rows' ``resil=`` segment and the Prometheus export.  Composes
 with the ``REPRO_FAULTS`` deterministic fault-injection spec (see
 :mod:`repro.faultinject`), which only arms under a policy.
 
+``--serve`` starts the simulation service instead of running
+experiments: an HTTP job server (``POST /jobs`` validated by the
+PlanError boundary before any solve, ``GET /jobs/<id>[/result]``,
+``GET /metrics``, ``GET /healthz``, ``POST /shutdown``) over a bounded
+Session pool, with ``--cache-dir DIR`` attaching the persistent
+solved-point store shared across jobs, sessions and server restarts.
+``--port``/``--host`` set the bind address (default
+``127.0.0.1:8347`` — loopback only, no authentication);
+``--serve-workers N`` sets the job worker threads.  See
+:mod:`repro.serve` and ``python -m repro.serve.client`` for the
+matching client.
+
 Exit status is non-zero if any shape check fails or any experiment
 failed terminally, and 2 for usage errors (unknown experiment names
 are reported together with the registry).
@@ -93,6 +105,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "--list" in argv:
         for name in sorted(EXPERIMENTS):
             print(name)
+        return 0
+    if "--serve" in argv:
+        argv.remove("--serve")
+        host_raw, error = _pop_value_flag(argv, "--host", "a bind address")
+        if error:
+            print(error, file=sys.stderr)
+            return USAGE_ERROR
+        port_raw, error = _pop_value_flag(argv, "--port", "a port number")
+        if error:
+            print(error, file=sys.stderr)
+            return USAGE_ERROR
+        cache_dir, error = _pop_value_flag(argv, "--cache-dir", "a directory")
+        if error:
+            print(error, file=sys.stderr)
+            return USAGE_ERROR
+        serve_workers_raw, error = _pop_value_flag(
+            argv, "--serve-workers", "a worker-thread count"
+        )
+        if error:
+            print(error, file=sys.stderr)
+            return USAGE_ERROR
+        if argv:
+            print(
+                "--serve takes no experiment names; unexpected: "
+                + " ".join(argv),
+                file=sys.stderr,
+            )
+            return USAGE_ERROR
+        try:
+            port = int(port_raw) if port_raw is not None else None
+            serve_workers = (
+                int(serve_workers_raw) if serve_workers_raw is not None else 1
+            )
+        except ValueError as exc:
+            print(f"--serve: {exc}", file=sys.stderr)
+            return USAGE_ERROR
+        from .serve import server as serve_server
+
+        try:
+            serve_server.serve(
+                host=host_raw or serve_server.DEFAULT_HOST,
+                port=serve_server.DEFAULT_PORT if port is None else port,
+                cache_dir=cache_dir,
+                workers=serve_workers,
+            )
+        except OSError as exc:
+            print(f"--serve: {exc}", file=sys.stderr)
+            return 1
         return 0
     bench = "--bench" in argv
     if bench:

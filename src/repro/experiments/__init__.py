@@ -17,6 +17,7 @@ regenerates its data and checks the shape criteria of DESIGN.md:
 ``loop_gain``              feedback-loop Bode plot with margins (AC)
 ``zout_vref``              output impedance vs frequency (AC)
 ``large_n``                1k+-unknown hierarchical netlists, sparse path
+``service_warm_start``     HTTP service + persistent cache across restarts
 ======================  =========================================
 
 Use :func:`run_experiment`/:func:`run_all` or ``python -m repro``.
@@ -37,6 +38,7 @@ from . import (  # noqa: F401  (imports register the runners)
     loop_gain,
     zout_vref,
     large_n,
+    service_warm_start,
 )
 from .report import render_result, render_summary
 

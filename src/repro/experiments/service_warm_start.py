@@ -1,0 +1,175 @@
+"""Simulation-service warm start: the persistent cache across restarts.
+
+The witness experiment for the serve subsystem (ROADMAP item 1's
+"async service front end"): a real in-process HTTP server
+(:class:`~repro.serve.server.ReproServer` on an ephemeral loopback
+port) is driven through the real client, killed, and restarted over
+the same cache directory.  Three legs, each a counter row:
+
+* ``cold_submit`` — a TempSweep job against an empty store: every
+  point is a cache miss, and the HTTP result payload must equal a
+  direct in-process ``Session.run(...).to_dict()`` **exactly** (floats
+  round-trip JSON by shortest-repr, so equality is bitwise).
+* ``restart_resubmit`` — the server is gracefully shut down (which
+  flushes the store), a new server opens the same cache dir, and the
+  identical job is resubmitted: the store must reload the solved
+  points (``op_store_points_loaded``), serve at least one exact cache
+  hit, spend **strictly fewer factorizations** than the cold leg, and
+  return the identical payload.
+* ``reject`` — a plan that fails validation must map to HTTP 400 with
+  the typed ``PlanError`` name and move **zero** solver counters: the
+  rejection happens before any solve.
+
+Counters are deterministic (one worker thread, serial submissions), so
+the row lands in the benchmark campaign index where ``--bench-check``
+hard-gates the warm-leg hit/factorization counts on every CI push.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from ..serve.client import ServeClient, ServeError
+from ..serve.jobs import plan_from_wire
+from ..serve.server import ReproServer
+from ..spice.parser import parse_netlist
+from ..spice.session import Session
+from ..spice.stats import STATS
+from .registry import ExperimentResult, register
+
+#: The served circuit: a two-branch diode divider — nonlinear enough
+#: that every DC point runs a real Newton ladder, small enough that the
+#: whole three-leg protocol stays in the tier-1 time budget.
+NETLIST = """\
+.model DM D (IS=1e-15 N=1.0)
+V1 in 0 dc 2
+R1 in a 1k
+D1 a 0 DM
+R2 in b 2k
+D2 b 0 DM
+R3 a b 10k
+"""
+
+#: Temperature grid of the served sweep [K].
+TEMP_GRID_K = (260.15, 280.15, 300.15, 320.15, 340.15)
+
+#: The job request, verbatim on the wire for both submit legs.
+REQUEST = {
+    "circuit": {"netlist": NETLIST, "title": "serve-witness"},
+    "plan": {
+        "analysis": "TempSweep",
+        "temperatures_k": list(TEMP_GRID_K),
+        "record": ["a", "b"],
+    },
+}
+
+
+@register("service_warm_start")
+def run() -> ExperimentResult:
+    rows = []
+    checks = {}
+
+    def leg_row(leg, delta):
+        rows.append(
+            (
+                leg,
+                delta["op_cache_hits"],
+                delta["op_cache_warm_starts"],
+                delta["op_cache_misses"],
+                delta["factorizations"],
+                delta["op_store_points_loaded"],
+                delta["op_store_points_written"],
+                delta["serve_jobs_completed"],
+                delta["serve_jobs_rejected"],
+            )
+        )
+        return delta
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as cache_dir:
+        # -- leg 1: cold submit against an empty store ------------------
+        server = ReproServer(port=0, cache_dir=cache_dir, workers=1).start()
+        client = ServeClient(server.url)
+        client.wait_healthy()
+        before = STATS.snapshot()
+        payload_cold = client.run(REQUEST)
+        cold = leg_row("cold_submit", STATS.delta_since(before))
+
+        direct = (
+            Session(parse_netlist(NETLIST, title="serve-witness"))
+            .run(plan_from_wire(REQUEST["plan"]))
+            .to_dict()
+        )
+        checks["cold_leg_is_all_misses"] = (
+            cold["op_cache_hits"] == 0 and cold["op_cache_misses"] > 0
+        )
+        checks["http_payload_equals_direct_session_run"] = payload_cold == direct
+        checks["cold_leg_flushes_store"] = cold["op_store_points_written"] == len(
+            TEMP_GRID_K
+        )
+
+        # -- leg 2: kill, restart over the same store, resubmit ---------
+        client.shutdown()
+        server.wait()
+        server = ReproServer(port=0, cache_dir=cache_dir, workers=1).start()
+        client = ServeClient(server.url)
+        client.wait_healthy()
+        before = STATS.snapshot()
+        payload_warm = client.run(REQUEST)
+        warm = leg_row("restart_resubmit", STATS.delta_since(before))
+
+        checks["restart_reloads_store"] = warm["op_store_points_loaded"] == len(
+            TEMP_GRID_K
+        )
+        checks["restart_serves_cache_hits"] = warm["op_cache_hits"] >= 1
+        checks["restart_strictly_fewer_factorizations"] = (
+            warm["factorizations"] < cold["factorizations"]
+        )
+        checks["restart_payload_identical"] = payload_warm == payload_cold
+
+        # -- leg 3: PlanError -> HTTP 400 before any solve --------------
+        before = STATS.snapshot()
+        status = error_type = None
+        try:
+            client.submit(
+                {
+                    "circuit": {"netlist": NETLIST},
+                    "plan": {"analysis": "TempSweep", "temperatures_k": []},
+                }
+            )
+        except ServeError as exc:
+            status, error_type = exc.status, exc.error_type
+        reject = leg_row("reject", STATS.delta_since(before))
+        checks["plan_error_maps_to_http_400"] = (status, error_type) == (
+            400,
+            "PlanError",
+        )
+        checks["rejected_before_any_solve"] = (
+            reject["newton_solves"] == 0 and reject["factorizations"] == 0
+        )
+        server.stop()
+
+    notes = (
+        f"{len(TEMP_GRID_K)}-point sweep over a restart: cold leg "
+        f"{cold['factorizations']} factorizations, warm leg "
+        f"{warm['factorizations']} with {warm['op_cache_hits']} exact "
+        f"hit(s) served from the reloaded store; payloads bit-identical "
+        "across HTTP, the direct Session run, and the restart."
+    )
+    return ExperimentResult(
+        experiment_id="service_warm_start",
+        title="Simulation service: persistent warm start across restarts",
+        columns=(
+            "leg",
+            "op_cache_hits",
+            "op_cache_warm_starts",
+            "op_cache_misses",
+            "factorizations",
+            "store_loaded",
+            "store_written",
+            "jobs_done",
+            "jobs_rejected",
+        ),
+        rows=rows,
+        checks=checks,
+        notes=notes,
+    )

@@ -615,6 +615,7 @@ class Session:
         vectorized: Optional[bool] = None,
         sparse: Optional[bool] = None,
         cache_points: int = 512,
+        store=None,
     ):
         if callable(circuit):
             self._builder = circuit
@@ -660,6 +661,46 @@ class Session:
         #: session can report its own share of the process ``STATS``.
         self.stats = SolverStats()
         self._run_depth = 0
+        #: Optional persistent solved-point store
+        #: (:class:`repro.serve.cachestore.CacheStore`, or a path to
+        #: one).  Loaded into the cache on open; :meth:`flush_store` /
+        #: :meth:`close` write solved points back, so warm starts
+        #: survive process death.  Loaded points pass through the same
+        #: ``SolvedPointCache`` gates as in-process ones — the value
+        #: band, temperature band and pinned-time key still screen
+        #: every warm-start candidate.
+        self.store = None
+        if store is not None:
+            if not hasattr(store, "load"):
+                from ..serve.cachestore import CacheStore
+
+                store = CacheStore(store)
+            self.store = store
+            self.cache.merge(self.store.load())
+
+    # -- persistent store ----------------------------------------------
+    def flush_store(self) -> int:
+        """Write this session's solved points to the attached store.
+
+        Appends only points the store has not persisted yet; returns
+        the number written.  No-op (returning 0) without a store.
+        """
+        if self.store is None:
+            return 0
+        return self.store.absorb(self.cache.export())
+
+    def close(self) -> None:
+        """Flush the persistent store (if any).  The session remains
+        usable afterwards — ``close`` marks a durability point, not an
+        invalidation."""
+        self.flush_store()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- lifecycle -----------------------------------------------------
     def invalidate(self) -> None:

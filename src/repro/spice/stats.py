@@ -86,6 +86,29 @@ class SolverStats:
     #: to in-process serial execution (unspawnable pool, un-picklable
     #: payload/result, or pool-rebuild budget exhausted).
     serial_fallbacks: int = 0
+    #: Persistent cache store (:mod:`repro.serve.cachestore`): store
+    #: files opened and read into a session's solved-point cache.
+    op_store_loads: int = 0
+    #: Solved points merged from a disk store into an in-memory cache
+    #: (warm starts that survived a process death).
+    op_store_points_loaded: int = 0
+    #: Store flushes (session close, job completion, server shutdown).
+    op_store_flushes: int = 0
+    #: Solved points newly appended to a disk store by flushes.
+    op_store_points_written: int = 0
+    #: Corrupt store records tolerated (skipped, never a crash): bad
+    #: header, truncated tail line, garbage JSON.  A clean store keeps
+    #: this at zero.
+    op_store_corrupt_records: int = 0
+    #: Job server: jobs accepted by ``POST /jobs``.
+    serve_jobs_submitted: int = 0
+    #: Job server: jobs rejected before any solve by the ``PlanError``
+    #: validation boundary (HTTP 400).
+    serve_jobs_rejected: int = 0
+    #: Job server: jobs that finished with a result payload.
+    serve_jobs_completed: int = 0
+    #: Job server: jobs that terminally failed under their run policy.
+    serve_jobs_failed: int = 0
     #: Successful DC strategies, keyed by ``RawSolution.strategy``.
     strategies: Dict[str, int] = field(default_factory=dict)
 

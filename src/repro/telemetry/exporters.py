@@ -45,6 +45,15 @@ _METRIC_HELP = {
     "op_cache_warm_starts": "Session solved-point cache: warm-started solves.",
     "op_cache_misses": "Session solved-point cache: cold solves.",
     "session_plans": "Analysis plans executed through Session.run.",
+    "op_store_loads": "Persistent store: files loaded into a session cache.",
+    "op_store_points_loaded": "Persistent store: solved points loaded.",
+    "op_store_flushes": "Persistent store: flushes that wrote new points.",
+    "op_store_points_written": "Persistent store: solved points written.",
+    "op_store_corrupt_records": "Persistent store: unreadable records/files skipped.",
+    "serve_jobs_submitted": "Service: jobs accepted onto the queue.",
+    "serve_jobs_rejected": "Service: submissions rejected before any solve.",
+    "serve_jobs_completed": "Service: jobs finished successfully.",
+    "serve_jobs_failed": "Service: jobs that terminally failed.",
 }
 
 

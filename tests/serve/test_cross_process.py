@@ -1,0 +1,128 @@
+"""Cross-process contracts of the persistent store.
+
+These tests spawn real ``python`` subprocesses against a shared store
+file — the property the in-process suites cannot prove:
+
+* a **second process** opening the store gets exact cache hits
+  (``op_cache_hits > 0``) and spends strictly fewer factorizations than
+  the first;
+* **concurrent writers** appending to one store interleave records but
+  never corrupt it — the union of their points survives;
+* a store corrupted between processes is **tolerated** (empty + counted),
+  never a crash.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+SOLVE_SCRIPT = textwrap.dedent(
+    """
+    import json, sys
+    from repro.serve.cachestore import CacheStore
+    from repro.spice import Circuit, Diode, OP, Resistor, Session, VoltageSource
+    from repro.spice.stats import STATS
+
+    def circuit():
+        c = Circuit("xproc diode")
+        c.add(VoltageSource("V1", "in", "0", 5.0))
+        c.add(Resistor("R1", "in", "d", 1e3))
+        c.add(Diode("D1", "d", "0"))
+        return c
+
+    store_path = sys.argv[1]
+    temps = [float(t) for t in sys.argv[2].split(",")]
+    with Session(circuit(), store=CacheStore(store_path)) as session:
+        for t in temps:
+            session.run(OP(temperature_k=t))
+    print(json.dumps({
+        "hits": STATS.op_cache_hits,
+        "misses": STATS.op_cache_misses,
+        "factorizations": STATS.factorizations,
+        "loaded": STATS.op_store_points_loaded,
+        "corrupt": STATS.op_store_corrupt_records,
+        "cache_len": len(session.cache),
+    }))
+    """
+)
+
+
+def run_solver(store_path, temps, cwd):
+    """Run the solve script in a fresh interpreter; returns its counters."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", SOLVE_SCRIPT, str(store_path),
+         ",".join(str(t) for t in temps)],
+        capture_output=True, text=True, cwd=cwd, timeout=120, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+class TestSecondProcessWarmStart:
+    def test_cache_hits_and_fewer_factorizations(self, tmp_path):
+        store = tmp_path / "op.jsonl"
+        temps = [280.15, 300.15, 320.15]
+        first = run_solver(store, temps, tmp_path)
+        assert first["hits"] == 0
+        assert first["loaded"] == 0
+        assert first["misses"] >= 1
+
+        second = run_solver(store, temps, tmp_path)
+        assert second["loaded"] == 3
+        assert second["hits"] == 3  # every point an exact hit
+        assert second["misses"] == 0
+        assert second["factorizations"] == 0
+        assert second["factorizations"] < first["factorizations"]
+
+
+class TestConcurrentWriters:
+    def test_union_survives_interleaved_appends(self, tmp_path):
+        store = tmp_path / "op.jsonl"
+        grids = [
+            [260.15, 270.15], [280.15, 290.15],
+            [310.15, 330.15], [350.15, 370.15],
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", SOLVE_SCRIPT, str(store),
+                 ",".join(str(t) for t in grid)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, cwd=tmp_path, env=env,
+            )
+            for grid in grids
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+
+        # The union of every writer's points is readable, uncorrupted.
+        reader = run_solver(store, [300.15], tmp_path)
+        assert reader["corrupt"] == 0
+        assert reader["loaded"] == sum(len(grid) for grid in grids)
+        assert reader["cache_len"] == reader["loaded"] + 1
+
+
+class TestCrossProcessCorruption:
+    def test_corrupted_between_processes_is_tolerated(self, tmp_path):
+        store = tmp_path / "op.jsonl"
+        run_solver(store, [300.15], tmp_path)
+        store.write_text("garbage written by a dying process")
+        second = run_solver(store, [300.15], tmp_path)
+        # Counted once by the load and once by the repairing flush.
+        assert second["corrupt"] >= 1
+        assert second["loaded"] == 0
+        assert second["hits"] == 0  # solved cold, no crash
+        third = run_solver(store, [300.15], tmp_path)
+        assert third["loaded"] == 1  # the flush repaired the file
+        assert third["hits"] == 1

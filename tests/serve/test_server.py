@@ -1,0 +1,194 @@
+"""Tests for the HTTP front end and the urllib client.
+
+The servers bind an ephemeral loopback port (``port=0``) and are torn
+down in fixtures, so the suite leaks no sockets (the repo-wide
+``filterwarnings = error`` would turn a leaked socket's
+ResourceWarning into a failure).
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ReproServer
+from repro.spice.stats import STATS
+
+NETLIST = ".model DM D (IS=1e-15 N=1.0)\nV1 in 0 5\nR1 in d 1k\nD1 d 0 DM\n"
+REQUEST = {
+    "circuit": {"netlist": NETLIST, "title": "http"},
+    "plan": {"analysis": "OP", "record": ["d"]},
+}
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(port=0, cache_dir=tmp_path, workers=1).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["jobs"] == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+
+    def test_submit_poll_result(self, client):
+        job_id = client.submit(REQUEST)
+        record = client.wait(job_id)
+        assert record["state"] == "done"
+        assert record["analysis"] == "OP"
+        payload = client.result(job_id)
+        assert 0.6 < payload["voltages"]["d"] < 0.9
+        assert [job["id"] for job in client.jobs()] == [job_id]
+
+    def test_plan_error_maps_to_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client.submit(
+                {"circuit": {"netlist": NETLIST},
+                 "plan": {"analysis": "OP", "record": ["nowhere"]}}
+            )
+        assert err.value.status == 400
+        assert err.value.error_type == "PlanError"
+        assert "unknown node" in err.value.message
+        assert STATS.newton_solves == 0
+
+    def test_netlist_error_maps_to_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client.submit(
+                {"circuit": {"netlist": "R1 a 0 not-a-value"},
+                 "plan": {"analysis": "OP"}}
+            )
+        assert err.value.status == 400
+        assert err.value.error_type == "NetlistError"
+
+    def test_malformed_json_maps_to_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req)
+        with err.value as resp:
+            assert resp.code == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client.status("j9999")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_failed_job_result_is_500_with_attribution(self, client, monkeypatch):
+        from repro.spice.session import Session
+
+        monkeypatch.setattr(
+            Session, "run",
+            lambda self, plan, x0=None: (_ for _ in ()).throw(
+                RuntimeError("server-side death")
+            ),
+        )
+        job_id = client.submit(REQUEST)
+        record = client.wait(job_id)
+        assert record["state"] == "failed"
+        assert record["error"]["error_type"] == "RuntimeError"
+        with pytest.raises(ServeError) as err:
+            client.result(job_id)
+        assert err.value.status == 500
+
+    def test_metrics_exposes_counters_and_gauges(self, client):
+        client.run(REQUEST)
+        text = client.metrics()
+        assert "repro_serve_jobs_submitted_total 1" in text
+        assert "repro_op_store_points_written_total 1" in text
+        assert "repro_serve_queue_depth 0" in text
+        assert "repro_serve_jobs_running 0" in text
+        assert "repro_serve_sessions_pooled 1" in text
+
+    def test_shutdown_drains_and_stops(self, server, client):
+        job_id = client.submit(REQUEST)
+        assert client.shutdown() == {"status": "stopping"}
+        server.wait()
+        # Drained before stopping: the job finished and flushed.
+        assert server.service.job(job_id).state == "done"
+
+
+class TestRestartWarmStart:
+    def test_restart_serves_persistent_cache(self, tmp_path):
+        request = {
+            "circuit": {"netlist": NETLIST, "title": "restart"},
+            "plan": {
+                "analysis": "TempSweep",
+                "temperatures_k": [280.15, 300.15, 320.15],
+                "record": ["d"],
+            },
+        }
+        first = ReproServer(port=0, cache_dir=tmp_path, workers=1).start()
+        try:
+            before = STATS.snapshot()
+            cold_payload = ServeClient(first.url).run(request)
+            cold = STATS.delta_since(before)
+        finally:
+            first.stop()
+
+        second = ReproServer(port=0, cache_dir=tmp_path, workers=1).start()
+        try:
+            before = STATS.snapshot()
+            warm_payload = ServeClient(second.url).run(request)
+            warm = STATS.delta_since(before)
+        finally:
+            second.stop()
+
+        assert warm["op_store_points_loaded"] == 3
+        assert warm["op_cache_hits"] >= 1
+        assert warm["factorizations"] < cold["factorizations"]
+        assert warm_payload == cold_payload
+
+
+class TestClientCLI:
+    def test_submit_wait_result_via_main(self, server, tmp_path, capsys):
+        from repro.serve.client import main
+
+        request_file = tmp_path / "req.json"
+        request_file.write_text(json.dumps(REQUEST))
+        assert main(["--url", server.url, "run", str(request_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.6 < payload["voltages"]["d"] < 0.9
+
+    def test_rejection_exits_nonzero_with_typed_message(
+        self, server, tmp_path, capsys
+    ):
+        from repro.serve.client import main
+
+        request_file = tmp_path / "bad.json"
+        request_file.write_text(
+            json.dumps(
+                {"circuit": {"netlist": NETLIST},
+                 "plan": {"analysis": "TempSweep", "temperatures_k": []}}
+            )
+        )
+        assert main(["--url", server.url, "submit", str(request_file)]) == 1
+        err = capsys.readouterr().err
+        assert "HTTP 400 PlanError" in err
+
+    def test_unknown_command_is_usage_error(self, capsys):
+        from repro.serve.client import main
+
+        assert main(["frobnicate"]) == 2
